@@ -1,0 +1,79 @@
+"""Ablation: hole merging and defragmentation.
+
+The blockHole design trades space (holes) for update speed (no data
+movement).  Section 4.4's delete includes a hole-merging pass; this
+ablation quantifies what merging saves, what holes cost in slack space
+under sustained mixed edits, and what an offline defragmentation
+recovers.
+"""
+
+import random
+
+from repro.bench import print_table
+from repro.fs.compressfs import CompressFS
+from repro.workloads import generate_dataset
+
+EDITS = 250
+
+
+def _run(merge_holes: bool):
+    fs = CompressFS(block_size=1024)
+    fs.write_file("/data", generate_dataset("D", scale=0.15).concatenated())
+    rng = random.Random(3)
+    for __ in range(EDITS):
+        size = fs.stat("/data").size
+        offset = rng.randrange(size - 128)
+        if rng.random() < 0.5:
+            fs.ops.insert("/data", offset, b"hole-making edit!")
+        else:
+            fs.ops.delete("/data", offset, rng.randrange(1, 100), merge_holes=merge_holes)
+    inode = fs.engine.inode("/data")
+    return {
+        "slots": inode.num_slots,
+        "hole_slots": inode.hole_slots,
+        "hole_bytes": inode.hole_bytes,
+        "logical": inode.size,
+        "physical": fs.physical_bytes(),
+        "fs": fs,
+    }
+
+
+def _run_all():
+    merged = _run(merge_holes=True)
+    unmerged = _run(merge_holes=False)
+    # Defragment the merged variant and record the recovery.
+    fs = merged.pop("fs")
+    unmerged.pop("fs")
+    saved_slots = fs.engine.defragment("/data")
+    after = {
+        "slots": fs.engine.inode("/data").num_slots,
+        "hole_bytes": fs.engine.inode("/data").hole_bytes,
+        "physical": fs.physical_bytes(),
+    }
+    return merged, unmerged, after, saved_slots
+
+
+def test_ablation_holes(benchmark):
+    merged, unmerged, defragmented, saved_slots = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1
+    )
+    rows = [
+        ["delete w/ hole merge", merged["slots"], merged["hole_slots"],
+         merged["hole_bytes"], merged["physical"]],
+        ["delete w/o hole merge", unmerged["slots"], unmerged["hole_slots"],
+         unmerged["hole_bytes"], unmerged["physical"]],
+        ["after defragment", defragmented["slots"], "-",
+         defragmented["hole_bytes"], defragmented["physical"]],
+    ]
+    print_table(
+        ["configuration", "slots", "holey slots", "hole bytes", "physical bytes"],
+        rows,
+        title=f"Ablation: blockHole management ({EDITS} mixed edits)",
+    )
+    print(f"\ndefragment reclaimed {saved_slots} slots")
+    # Hole merging keeps fragmentation strictly lower.
+    assert merged["hole_bytes"] <= unmerged["hole_bytes"]
+    assert merged["slots"] <= unmerged["slots"]
+    # Defragmentation packs the file back to near-minimal slots.
+    assert defragmented["hole_bytes"] < merged["hole_bytes"]
+    assert defragmented["slots"] <= merged["slots"]

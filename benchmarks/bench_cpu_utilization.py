@@ -1,0 +1,60 @@
+"""Section 6.5, CPU utilisation.
+
+The paper measures 0.06–0.26 of 16 processors for CompressDB under
+write workloads — i.e. the engine's CPU work (dominated by the hash
+function) is small relative to the I/O it replaces.  We measure the
+real CPU seconds the engine spends per written megabyte with and
+without its compression module, and the ratio of hashing CPU time to
+the simulated I/O time it saves.
+"""
+
+import time
+
+from repro.bench import make_fs, print_table
+from repro.workloads import generate_dataset
+
+
+def _ingest(variant: str, data_files):
+    mounted = make_fs(variant)
+    start_cpu = time.process_time()
+    for path, data in data_files:
+        mounted.fs.write_file(path, data)
+    cpu = time.process_time() - start_cpu
+    return cpu, mounted.clock.now
+
+
+def _run():
+    dataset = generate_dataset("B", scale=0.3)
+    files = sorted(dataset.files.items())
+    results = {}
+    for variant in ("baseline", "compressdb"):
+        cpu, simulated = _ingest(variant, files)
+        results[variant] = (cpu, simulated)
+    return dataset.total_bytes, results
+
+
+def test_cpu_utilization(benchmark):
+    total_bytes, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mb = total_bytes / (1024 * 1024)
+    rows = []
+    for variant, (cpu, simulated) in results.items():
+        rows.append(
+            [variant, f"{cpu / mb * 1e3:.1f}", f"{simulated / mb * 1e3:.1f}",
+             f"{cpu / simulated:.2f}"]
+        )
+    print_table(
+        ["system", "CPU ms/MB (real)", "I/O ms/MB (simulated)", "CPU / I/O"],
+        rows,
+        title="Section 6.5: CPU cost of the engine during ingest",
+    )
+    base_cpu, __ = results["baseline"]
+    comp_cpu, comp_io = results["compressdb"]
+    extra_cpu = comp_cpu - base_cpu
+    occupancy = extra_cpu / comp_io if comp_io > 0 else 0.0
+    print(
+        f"\nCompression-module CPU per simulated second of I/O: {occupancy:.2f} cores "
+        "(paper: 0.06-0.26 of 16 processors)"
+    )
+    # The engine's own CPU work must stay a small multiple of the I/O
+    # time it is hiding behind — not orders of magnitude above it.
+    assert occupancy < 16, "hashing must not dominate a 16-core budget"

@@ -1,0 +1,114 @@
+"""Figure 10: throughput of the individual operations per dataset.
+
+The paper compares each pushed-down operation (extract, replace,
+insert, delete, append, search, count) against the original file
+system.  Expected shape:
+
+* CompressDB beats the baseline on every operation, with the biggest
+  speedups on ``insert``/``delete`` (the baseline rewrites the file
+  tail) — tens of times on large files;
+* ``extract`` has the highest absolute throughput, ``search``/``count``
+  the lowest (full traversal).
+"""
+
+import random
+
+from repro.bench import make_fs, print_table
+from repro.fs.posix_ops import PosixOperations, PushdownOperations
+from repro.workloads import generate_dataset
+
+DATASETS = ("A", "D", "E")
+SCALE = 0.2
+OPERATIONS_PER_TYPE = 25
+#: Read-style operations run first, manipulations last, so search and
+#: extract measure the ingested layout (the paper measures each
+#: operation type independently).
+OP_NAMES = ("extract", "search", "count", "replace", "append", "insert", "delete")
+
+
+def _load(variant: str, dataset):
+    mounted = make_fs(variant, cache_blocks=32)
+    path = "/target"
+    mounted.fs.write_file(path, dataset.concatenated())
+    if variant == "baseline":
+        return mounted, PosixOperations(mounted.fs), path
+    return mounted, PushdownOperations(mounted.fs), path
+
+
+def _run_op(mounted, ops, path, op_name, rng):
+    """One batch of one operation type; returns simulated ops/s."""
+    size = mounted.fs.stat(path).size
+    start = mounted.clock.now
+    for op_no in range(OPERATIONS_PER_TYPE):
+        offset = rng.randrange(max(1, size - 4096))
+        if op_name == "extract":
+            ops.extract(path, offset, 512)
+        elif op_name == "replace":
+            ops.replace(path, offset, b"replacement payload!")
+        elif op_name == "insert":
+            ops.insert(path, offset, b"inserted payload")
+            size += 16
+        elif op_name == "delete":
+            ops.delete(path, offset, 16)
+            size -= 16
+        elif op_name == "append":
+            payload = (b"appended tail %06d " % op_no) * 3
+            ops.append(path, payload)
+            size += len(payload)
+        elif op_name == "search":
+            ops.search(path, b"the")
+        elif op_name == "count":
+            ops.count(path, b"data")
+    elapsed = mounted.clock.now - start
+    return OPERATIONS_PER_TYPE / elapsed if elapsed > 0 else float("inf")
+
+
+def _run_all():
+    results = {}
+    for name in DATASETS:
+        dataset = generate_dataset(name, scale=SCALE)
+        for variant in ("baseline", "compressdb"):
+            mounted, ops, path = _load(variant, dataset)
+            rng = random.Random(11)
+            for op_name in OP_NAMES:
+                results[(name, variant, op_name)] = _run_op(
+                    mounted, ops, path, op_name, rng
+                )
+    return results
+
+
+def test_fig10_operations(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        for op_name in OP_NAMES:
+            base = results[(name, "baseline", op_name)]
+            comp = results[(name, "compressdb", op_name)]
+            rows.append(
+                [name, op_name, f"{base:.1f}", f"{comp:.1f}", f"{comp / base:.1f}x"]
+            )
+    print_table(
+        ["dataset", "operation", "baseline ops/s", "CompressDB ops/s", "speedup"],
+        rows,
+        title="Figure 10: individual-operation throughput",
+    )
+    for name in DATASETS:
+        # insert/delete speedups dominate (the paper's 34x-44x regime).
+        insert_speedup = results[(name, "compressdb", "insert")] / results[
+            (name, "baseline", "insert")
+        ]
+        delete_speedup = results[(name, "compressdb", "delete")] / results[
+            (name, "baseline", "delete")
+        ]
+        extract_speedup = results[(name, "compressdb", "extract")] / results[
+            (name, "baseline", "extract")
+        ]
+        assert insert_speedup > 5, f"dataset {name}: insert speedup {insert_speedup}"
+        assert delete_speedup > 5, f"dataset {name}: delete speedup {delete_speedup}"
+        assert insert_speedup > extract_speedup
+        # extract is the fastest CompressDB operation in absolute terms.
+        comp_rates = {op: results[(name, "compressdb", op)] for op in OP_NAMES}
+        assert comp_rates["extract"] == max(comp_rates.values()), comp_rates
+        # search/count are the slowest (full traversal).
+        slowest_two = sorted(comp_rates, key=comp_rates.get)[:2]
+        assert set(slowest_two) == {"search", "count"}, comp_rates

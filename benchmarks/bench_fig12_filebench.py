@@ -1,0 +1,57 @@
+"""Figure 12: Filebench-style evaluation of the raw file systems.
+
+Paper: under the fileserver personality, CompressDB beats the baseline
+on throughput, latency, *and* bandwidth utilisation; pure reads reach
+1.26x and pure writes 1.28x of the baseline.
+"""
+
+from repro.bench import make_fs, print_table
+from repro.workloads import run_fileserver
+
+
+def _run(variant: str):
+    mounted = make_fs(variant, cache_blocks=96)
+    return run_fileserver(
+        mounted.fs,
+        mounted.clock,
+        variant,
+        operations=300,
+        files=24,
+        file_bytes=16 * 1024,
+    )
+
+
+def _run_both():
+    return {variant: _run(variant) for variant in ("baseline", "compressdb")}
+
+
+def test_fig12_filebench(benchmark):
+    results = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    rows = []
+    for variant, result in results.items():
+        rows.append(
+            [
+                variant,
+                f"{result.read_mb_per_s:.1f}",
+                f"{result.write_mb_per_s:.1f}",
+                f"{result.latency.mean * 1e3:.2f}",
+                f"{result.latency.p90 * 1e3:.2f}",
+                f"{result.bandwidth_utilisation * 100:.1f}%",
+            ]
+        )
+    print_table(
+        ["system", "read MB/s", "write MB/s", "mean lat (ms)", "p90 lat (ms)", "bandwidth util"],
+        rows,
+        title="Figure 12: filebench (fileserver personality)",
+    )
+    base = results["baseline"]
+    comp = results["compressdb"]
+    read_gain = comp.read_mb_per_s / base.read_mb_per_s
+    write_gain = comp.write_mb_per_s / base.write_mb_per_s
+    print(
+        f"\nreads {read_gain:.2f}x, writes {write_gain:.2f}x over baseline "
+        "(paper: 1.26x reads, 1.28x writes)"
+    )
+    assert comp.latency.mean < base.latency.mean
+    assert read_gain > 1.0 and write_gain > 1.0
+    assert comp.bandwidth_utilisation >= base.bandwidth_utilisation * 0.9

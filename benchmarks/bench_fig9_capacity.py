@@ -1,0 +1,94 @@
+"""Figure 9: improving database capacity — throughput vs compression ratio.
+
+The paper sweeps compression ratio and shows CompressDB delivers higher
+performance than the baseline at the same ratio, with the gap largest
+at low ratios; equivalently, for equal performance CompressDB affords a
+higher ratio.  We sweep the dataset redundancy knob, measure the
+achieved CompressDB ratio, and compare simulated throughput of a mixed
+read/write file workload on both systems at each point.
+"""
+
+from repro.bench import make_fs, print_table
+from repro.workloads import generate_redundancy_sweep
+
+SWEEP = (0.0, 0.3, 0.5, 0.7, 0.85)
+OPERATIONS = 200
+
+
+def _run_point(duplicate_fraction: float):
+    """Mixed block reads and block copies over one dataset instance.
+
+    Reads contend for a page cache smaller than the file: the more the
+    data dedups, the more of the unique working set stays cached.
+    Writes copy an existing aligned block elsewhere in the file — a
+    duplicate-aware store recognises the copy, a plain store pays for
+    the write.
+    """
+    import random
+
+    dataset = generate_redundancy_sweep(duplicate_fraction, total_bytes=256 * 1024)
+    data = dataset.files["/sweep/data"]
+    blocks = len(data) // 1024
+    point = {}
+    for variant in ("baseline", "baseline-lz4", "compressdb"):
+        mounted = make_fs(variant, cache_blocks=48)
+        mounted.fs.write_file("/data", data)
+        ratio = mounted.fs.compression_ratio()
+        rng = random.Random(3)
+        start = mounted.clock.now
+        for i in range(OPERATIONS):
+            if i % 2 == 0:
+                block_no = rng.randrange(blocks - 4)
+                mounted.fs._pread("/data", block_no * 1024, 4096)
+            else:
+                source = rng.randrange(blocks) * 1024
+                target = rng.randrange(blocks) * 1024
+                mounted.fs._pwrite("/data", target, data[source : source + 1024])
+        elapsed = mounted.clock.now - start
+        point[variant] = (OPERATIONS / elapsed, ratio)
+    return point
+
+
+def _run_sweep():
+    return [(fraction, _run_point(fraction)) for fraction in SWEEP]
+
+
+def test_fig9_capacity(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    rows = []
+    for fraction, point in sweep:
+        base_tp, __ = point["baseline"]
+        lz4_tp, lz4_ratio = point["baseline-lz4"]
+        comp_tp, comp_ratio = point["compressdb"]
+        rows.append(
+            [
+                f"{fraction:.2f}",
+                f"{base_tp:.0f}",
+                f"{lz4_tp:.0f} @ {lz4_ratio:.2f}x",
+                f"{comp_tp:.0f} @ {comp_ratio:.2f}x",
+                f"{(comp_tp / lz4_tp - 1) * 100:.0f}%",
+            ]
+        )
+    print_table(
+        [
+            "redundancy",
+            "plain FS ops/s",
+            "baseline (LZ4) ops/s @ ratio",
+            "CompressDB ops/s @ ratio",
+            "CompressDB vs LZ4",
+        ],
+        rows,
+        title="Figure 9: throughput vs compression ratio",
+    )
+    # Shape checks (paper): CompressDB beats the compressing baseline at
+    # every ratio, and the advantage is largest where the achieved
+    # compression ratio is low (the decompression tax buys nothing).
+    ratios = [point["compressdb"][1] for __, point in sweep]
+    assert ratios == sorted(ratios)
+    gains = [
+        point["compressdb"][0] / point["baseline-lz4"][0] for __, point in sweep
+    ]
+    assert all(gain > 1.0 for gain in gains)
+    # Even where CompressDB compresses least (ratio ~1), it clearly
+    # outperforms the compressing baseline — the paper's low-ratio claim.
+    assert gains[0] > 1.5

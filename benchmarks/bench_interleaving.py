@@ -1,0 +1,114 @@
+"""Section 6.3, interleaving operations.
+
+The paper mixes the seven operation types (~14% each) and reports that
+extract/replace/search/append/count slow down mildly versus running
+each type in isolation (4–18%), insert/delete stay the same, and the
+overall CompressDB advantage over the baseline persists (~19% under
+mixed workloads).
+"""
+
+import random
+
+from repro.bench import make_fs, print_table
+from repro.fs.posix_ops import PosixOperations, PushdownOperations
+from repro.workloads import generate_dataset
+
+OP_NAMES = ("extract", "replace", "insert", "delete", "append", "search", "count")
+OPS_PER_TYPE = 12
+
+
+def _apply(ops, path, op_name, rng, size):
+    offset = rng.randrange(max(1, size - 2048))
+    if op_name == "extract":
+        ops.extract(path, offset, 512)
+    elif op_name == "replace":
+        ops.replace(path, offset, b"mixed-replace!")
+    elif op_name == "insert":
+        ops.insert(path, offset, b"mixed-insert")
+        return size + 12
+    elif op_name == "delete":
+        ops.delete(path, offset, 12)
+        return size - 12
+    elif op_name == "append":
+        ops.append(path, b"mixed-append " * 2)
+        return size + 26
+    elif op_name == "search":
+        ops.search(path, b"the")
+    elif op_name == "count":
+        ops.count(path, b"data")
+    return size
+
+
+def _setup(variant):
+    mounted = make_fs(variant, cache_blocks=32)
+    data = generate_dataset("D", scale=0.15).concatenated()
+    mounted.fs.write_file("/f", data)
+    if variant == "baseline":
+        return mounted, PosixOperations(mounted.fs), len(data)
+    return mounted, PushdownOperations(mounted.fs), len(data)
+
+
+def _isolated(variant):
+    """Per-op simulated time when each type runs on its own mount."""
+    times = {}
+    for op_name in OP_NAMES:
+        mounted, ops, size = _setup(variant)
+        rng = random.Random(5)
+        start = mounted.clock.now
+        for __ in range(OPS_PER_TYPE):
+            size = _apply(ops, "/f", op_name, rng, size)
+        times[op_name] = (mounted.clock.now - start) / OPS_PER_TYPE
+    return times
+
+
+def _interleaved(variant):
+    """Per-op simulated time within one shuffled mixed stream."""
+    mounted, ops, size = _setup(variant)
+    rng = random.Random(5)
+    schedule = list(OP_NAMES) * OPS_PER_TYPE
+    rng.shuffle(schedule)
+    totals = {op: 0.0 for op in OP_NAMES}
+    counts = {op: 0 for op in OP_NAMES}
+    overall_start = mounted.clock.now
+    for op_name in schedule:
+        start = mounted.clock.now
+        size = _apply(ops, "/f", op_name, rng, size)
+        totals[op_name] += mounted.clock.now - start
+        counts[op_name] += 1
+    overall = mounted.clock.now - overall_start
+    return {op: totals[op] / counts[op] for op in OP_NAMES}, overall
+
+
+def test_interleaving(benchmark):
+    def run():
+        return (
+            _isolated("compressdb"),
+            _interleaved("compressdb"),
+            _interleaved("baseline"),
+        )
+
+    isolated, (mixed, comp_total), (__, base_total) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = []
+    for op_name in OP_NAMES:
+        change = (mixed[op_name] / isolated[op_name] - 1) * 100
+        rows.append(
+            [
+                op_name,
+                f"{isolated[op_name] * 1e3:.2f}",
+                f"{mixed[op_name] * 1e3:.2f}",
+                f"{change:+.1f}%",
+            ]
+        )
+    print_table(
+        ["operation", "isolated (ms)", "interleaved (ms)", "latency change"],
+        rows,
+        title="Section 6.3: interleaving operations (CompressDB)",
+    )
+    gain = (base_total / comp_total - 1) * 100
+    print(
+        f"\nCompressDB advantage under the mixed workload: {gain:.0f}% "
+        "(paper reports 18.82% is maintained)"
+    )
+    assert gain > 0, "CompressDB must stay ahead under mixed workloads"

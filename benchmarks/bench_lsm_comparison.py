@@ -1,0 +1,93 @@
+"""Section 6.5, comparison with the LSM method.
+
+LevelDB's Snappy block compression is orthogonal to CompressDB: they
+stack.  The paper reports, with default compression on, CompressDB
+adding 23.8% on random reads, 5.3% on random writes, and 10.8% space
+savings over the baseline; with compression off, 18.3% / 16.7% / 24%.
+Expected shape: CompressDB improves the LSM store's reads, writes, and
+space in both configurations, more in the uncompressed one.
+"""
+
+import random
+
+from repro.bench import make_fs, print_table
+from repro.compression import SnappyCodec
+from repro.databases.minileveldb import MiniLevelDB
+from repro.workloads import generate_dataset
+
+KEYS = 150
+OPS = 300
+
+
+def _run(variant: str, snappy: bool):
+    mounted = make_fs(variant, cache_blocks=64)
+    codec = SnappyCodec() if snappy else None
+    db = MiniLevelDB(mounted.fs, codec=codec, memtable_limit=8 * 1024, l0_limit=3)
+    corpus = generate_dataset("B", scale=0.1).concatenated()
+    rng = random.Random(31)
+    # Preload.
+    for key_no in range(KEYS):
+        start = (key_no % 40) * 1024
+        db.put(b"key%04d" % key_no, corpus[start : start + 1024])
+    # Random writes.
+    write_start = mounted.clock.now
+    for i in range(OPS):
+        key = b"key%04d" % rng.randrange(KEYS)
+        start = (rng.randrange(40)) * 1024
+        db.put(key, corpus[start : start + 1024])
+    write_time = mounted.clock.now - write_start
+    db.close()
+    # Random reads.
+    read_start = mounted.clock.now
+    for __ in range(OPS):
+        db.get(b"key%04d" % rng.randrange(KEYS))
+    read_time = mounted.clock.now - read_start
+    return {
+        "read_ops": OPS / read_time,
+        "write_ops": OPS / write_time,
+        "space": mounted.fs.physical_bytes(),
+    }
+
+
+def _run_all():
+    results = {}
+    for snappy in (True, False):
+        for variant in ("baseline", "compressdb"):
+            results[(snappy, variant)] = _run(variant, snappy)
+    return results
+
+
+def test_lsm_comparison(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    paper = {True: (23.8, 5.3, 10.8), False: (18.3, 16.7, 24.0)}
+    for snappy in (True, False):
+        base = results[(snappy, "baseline")]
+        comp = results[(snappy, "compressdb")]
+        read_gain = (comp["read_ops"] / base["read_ops"] - 1) * 100
+        write_gain = (comp["write_ops"] / base["write_ops"] - 1) * 100
+        space_saving = (1 - comp["space"] / base["space"]) * 100
+        label = "Snappy on" if snappy else "Snappy off"
+        rows.append(
+            [
+                label,
+                f"{read_gain:+.1f}% ({paper[snappy][0]}%)",
+                f"{write_gain:+.1f}% ({paper[snappy][1]}%)",
+                f"{space_saving:+.1f}% ({paper[snappy][2]}%)",
+            ]
+        )
+    print_table(
+        ["LevelDB config", "read gain (paper)", "write gain (paper)", "space saving (paper)"],
+        rows,
+        title="Section 6.5: CompressDB underneath LevelDB",
+    )
+    for snappy in (True, False):
+        base = results[(snappy, "baseline")]
+        comp = results[(snappy, "compressdb")]
+        assert comp["read_ops"] >= base["read_ops"] * 0.95
+        assert comp["write_ops"] >= base["write_ops"] * 0.95
+        assert comp["space"] <= base["space"]
+    # Space savings are larger when LevelDB's own compression is off.
+    saving_on = 1 - results[(True, "compressdb")]["space"] / results[(True, "baseline")]["space"]
+    saving_off = 1 - results[(False, "compressdb")]["space"] / results[(False, "baseline")]["space"]
+    assert saving_off >= saving_on

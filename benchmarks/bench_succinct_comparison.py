@@ -1,0 +1,106 @@
+"""Section 6.5, comparison with Succinct.
+
+Paper findings to reproduce in shape:
+
+* CompressDB's ``extract`` is far faster (40.4x in the paper) —
+  Succinct must decompress chunks;
+* Succinct's ``count`` is far faster (CompressDB is "90% slower") —
+  the suffix array answers counts without any traversal;
+* ``search``: CompressDB competitive (1.9x in the paper);
+* Succinct supports no manipulation at all, CompressDB does;
+* layering Succinct's serialised store on CompressDB saves extra space.
+"""
+
+import time
+
+from repro.bench import print_table
+from repro.core.engine import CompressDB
+from repro.fs.compressfs import CompressFS
+from repro.succinct import SuccinctStore, UnsupportedOperation
+from repro.workloads import generate_dataset
+
+OPS = 40
+
+
+def _time(callable_, repeats=OPS):
+    start = time.perf_counter()
+    for __ in range(repeats):
+        callable_()
+    return (time.perf_counter() - start) / repeats
+
+
+def _run():
+    data = generate_dataset("D", scale=0.25).concatenated()
+    succinct = SuccinctStore(data, chunk_size=4096)
+    engine = CompressDB(block_size=1024)
+    engine.write_file("/data", data)
+
+    import random
+
+    rng = random.Random(13)
+    offsets = [rng.randrange(len(data) - 2048) for __ in range(OPS)]
+    iterator = iter(offsets * 4)
+
+    results = {}
+    results["extract"] = (
+        _time(lambda: engine.ops.extract("/data", next(iterator), 1024)),
+        _time(lambda: succinct.extract(next(iterator), 1024)),
+    )
+    results["count"] = (
+        _time(lambda: engine.ops.count("/data", b"the"), repeats=3),
+        _time(lambda: succinct.count(b"the"), repeats=3),
+    )
+    results["search"] = (
+        _time(lambda: engine.ops.search("/data", b"wikipedia"), repeats=3),
+        _time(lambda: succinct.search(b"wikipedia"), repeats=3),
+    )
+    # Manipulation support.
+    engine.ops.insert("/data", 100, b"mutable!")
+    try:
+        succinct.insert(100, b"mutable!")
+        manipulation_blocked = False
+    except UnsupportedOperation:
+        manipulation_blocked = True
+    # Space: Succinct alone vs its serialised form on CompressDB.
+    serialized = succinct.serialize()
+    stacked = CompressFS(block_size=1024)
+    stacked.write_file("/succinct.bin", serialized)
+    return data, results, manipulation_blocked, len(serialized), stacked.physical_bytes()
+
+
+def test_succinct_comparison(benchmark):
+    data, results, manipulation_blocked, succinct_bytes, stacked_bytes = (
+        benchmark.pedantic(_run, rounds=1, iterations=1)
+    )
+    rows = []
+    paper_note = {"extract": "40.4x CompressDB", "count": "Succinct wins (90%)", "search": "1.9x CompressDB"}
+    for op, (compressdb_time, succinct_time) in results.items():
+        ratio = succinct_time / compressdb_time
+        rows.append(
+            [
+                op,
+                f"{compressdb_time * 1e6:.0f}",
+                f"{succinct_time * 1e6:.0f}",
+                f"{ratio:.1f}x",
+                paper_note[op],
+            ]
+        )
+    print_table(
+        ["operation", "CompressDB (us)", "Succinct (us)", "Succinct/CompressDB", "paper"],
+        rows,
+        title="Section 6.5: CompressDB vs Succinct (real time)",
+    )
+    print(
+        f"\nmanipulation: CompressDB supports insert/delete/update; "
+        f"Succinct raised UnsupportedOperation: {manipulation_blocked}"
+    )
+    print(
+        f"CompressDB+Succinct space: {stacked_bytes} bytes stored for a "
+        f"{succinct_bytes}-byte Succinct image "
+        f"({(1 - stacked_bytes / succinct_bytes) * 100:+.1f}% saving; paper: 23.9%)"
+    )
+    extract_ratio = results["extract"][1] / results["extract"][0]
+    count_ratio = results["count"][1] / results["count"][0]
+    assert extract_ratio > 2, "CompressDB extract must be clearly faster"
+    assert count_ratio < 0.5, "Succinct count must be clearly faster"
+    assert manipulation_blocked

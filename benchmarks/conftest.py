@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Every file here regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the paper-style tables each benchmark prints; the
+pytest-benchmark summary additionally reports wall-clock times.
+"""

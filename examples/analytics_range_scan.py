@@ -1,0 +1,70 @@
+"""Columnar analytics on CompressDB — the ClickHouse range-scan scenario.
+
+Runs the paper's Section 6.2 query on the column store over both file
+systems and compares the simulated I/O time::
+
+    SELECT id, sum(cnt)/count(dt) avg_cnt FROM tbl
+    WHERE idx >= 0 AND idx <= 8
+    GROUP BY id ORDER BY avg_cnt DESC;
+
+Run with::
+
+    python examples/analytics_range_scan.py
+"""
+
+from repro.bench import make_database, make_fs
+from repro.workloads import structured_rows
+
+QUERY = (
+    "SELECT id, sum(cnt)/count(dt) avg_cnt FROM tbl "
+    "WHERE idx >= 0 AND idx <= 8 GROUP BY id ORDER BY avg_cnt DESC"
+)
+
+
+def main() -> None:
+    rows = structured_rows(2000)
+    timings = {}
+    answer = None
+    for variant in ("baseline", "compressdb"):
+        mounted = make_fs(variant, cache_blocks=16)
+        db = make_database("clickhouse", mounted.fs)
+        db.execute("CREATE TABLE tbl (id INT, idx INT, cnt INT, dt TEXT)")
+        db.table("tbl").insert_rows(
+            [{k: row[k] for k in ("id", "idx", "cnt", "dt")} for row in rows]
+        )
+        start = mounted.clock.now
+        answer = db.execute(QUERY)
+        timings[variant] = mounted.clock.now - start
+
+    assert answer is not None
+    print("top 5 groups by avg_cnt:")
+    for row in answer[:5]:
+        print(f"  id={row['id']:>6}  avg_cnt={row['avg_cnt']:.2f}")
+
+    base = timings["baseline"]
+    comp = timings["compressdb"]
+    print(f"\nsimulated query time, baseline:   {base * 1e3:.2f} ms")
+    print(f"simulated query time, CompressDB: {comp * 1e3:.2f} ms")
+    print(f"improvement: {((base / comp) - 1) * 100:.1f}% "
+          "(paper reports 15.48% on ClickHouse)")
+
+    # The column store reads only the referenced columns: check the
+    # projection pruning by comparing bytes read for narrow vs wide scans.
+    mounted = make_fs("compressdb", cache_blocks=0)
+    db = make_database("clickhouse", mounted.fs)
+    db.execute("CREATE TABLE tbl (id INT, idx INT, cnt INT, dt TEXT)")
+    db.table("tbl").insert_rows(
+        [{k: row[k] for k in ("id", "idx", "cnt", "dt")} for row in rows]
+    )
+    mounted.fs.device.stats.reset()
+    db.execute("SELECT idx FROM tbl")
+    narrow = mounted.fs.device.stats.bytes_read
+    mounted.fs.device.stats.reset()
+    db.execute("SELECT * FROM tbl")
+    wide = mounted.fs.device.stats.bytes_read
+    print(f"\ncolumn pruning: SELECT idx reads {narrow} bytes, "
+          f"SELECT * reads {wide} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""An LSM key-value store stacked on CompressDB — the LevelDB scenario.
+
+Section 6.5 of the paper: LevelDB's own Snappy block compression is
+orthogonal to CompressDB, so the two compose.  This example runs the
+same workload in four configurations and prints the space each needs,
+then demonstrates crash recovery through the WAL.
+
+Run with::
+
+    python examples/kv_store_lsm.py
+"""
+
+from repro.compression import SnappyCodec
+from repro.databases import MiniLevelDB
+from repro.fs import CompressFS, PassthroughFS
+from repro.workloads import generate_dataset
+
+
+def run_workload(db: MiniLevelDB, corpus: bytes) -> None:
+    for i in range(400):
+        key = b"user:%05d" % (i % 120)
+        start = (i % 50) * 1024
+        db.put(key, corpus[start : start + 1024])
+    for i in range(0, 120, 3):
+        db.delete(b"user:%05d" % i)
+    db.close()
+
+
+def main() -> None:
+    corpus = generate_dataset("B", scale=0.15).concatenated()
+
+    configs = [
+        ("plain FS,   no Snappy", PassthroughFS(block_size=1024), None),
+        ("plain FS,   Snappy", PassthroughFS(block_size=1024), SnappyCodec()),
+        ("CompressDB, no Snappy", CompressFS(block_size=1024), None),
+        ("CompressDB, Snappy", CompressFS(block_size=1024), SnappyCodec()),
+    ]
+    print("LSM store storage footprint under four configurations:")
+    for label, fs, codec in configs:
+        db = MiniLevelDB(fs, codec=codec, memtable_limit=16 * 1024)
+        run_workload(db, corpus)
+        print(
+            f"  {label:<22} {fs.physical_bytes():>8} physical bytes, "
+            f"{db.table_count()} tables, {db.compactions} compactions"
+        )
+
+    # Crash recovery: unflushed writes live in the WAL.
+    fs = CompressFS(block_size=1024)
+    db = MiniLevelDB(fs, memtable_limit=1 << 20)  # huge memtable: no flush
+    db.put(b"crash-key", b"survives in the WAL")
+    # "Crash": throw the db object away without close(), reopen from fs.
+    recovered = MiniLevelDB(fs, memtable_limit=1 << 20)
+    print(f"\nafter crash recovery: {recovered.get(b'crash-key')!r}")
+
+    # Range scans merge memtable and tables.
+    for i in range(5):
+        recovered.put(b"scan:%d" % i, b"v%d" % i)
+    print("range scan:", list(recovered.scan(b"scan:", b"scan:\xff")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The relational engine on CompressDB: indexes, joins, transactions.
+
+MiniSQL grew the features that make the SQLite stand-in credible:
+secondary indexes (CREATE INDEX), inner equi-joins, and transactions
+with rollback — all of it storing pages through the compressed file
+system.
+
+Run with::
+
+    python examples/sql_database.py
+"""
+
+from repro.databases import MiniSQL
+from repro.fs import CompressFS
+
+
+def main() -> None:
+    db = MiniSQL(CompressFS(block_size=1024))
+
+    db.execute("CREATE TABLE users (id INT PRIMARY KEY, name TEXT, city TEXT)")
+    db.execute("CREATE TABLE orders (oid INT PRIMARY KEY, user_id INT, total REAL)")
+    cities = ["oslo", "lima", "kyiv", "quito"]
+    for i in range(200):
+        db.execute(f"INSERT INTO users VALUES ({i}, 'user{i}', '{cities[i % 4]}')")
+    for i in range(400):
+        db.execute(f"INSERT INTO orders VALUES ({i}, {i % 200}, {(i * 7) % 90}.5)")
+
+    # Secondary index: equality lookups stop scanning the table.
+    db.execute("CREATE INDEX idx_city ON users (city)")
+    db.fs.device.stats.reset()
+    oslo = db.execute("SELECT id FROM users WHERE city = 'oslo'")
+    indexed_reads = db.fs.device.stats.block_reads
+    print(f"indexed lookup: {len(oslo)} rows, {indexed_reads} block reads")
+
+    # Join: revenue per city.
+    revenue = db.execute(
+        "SELECT city, sum(total) revenue FROM users "
+        "JOIN orders ON users.id = orders.user_id "
+        "GROUP BY city ORDER BY revenue DESC"
+    )
+    print("\nrevenue per city (join + group by):")
+    for row in revenue:
+        print(f"  {row['city']:<6} {row['revenue']:>10.1f}")
+
+    # Transactions: a failed transfer rolls back atomically.
+    db.execute("CREATE TABLE acc (id INT PRIMARY KEY, balance INT)")
+    db.execute("INSERT INTO acc VALUES (1, 100), (2, 100)")
+    db.execute("BEGIN")
+    db.execute("UPDATE acc SET balance = balance - 150 WHERE id = 1")
+    db.execute("UPDATE acc SET balance = balance + 150 WHERE id = 2")
+    overdrawn = db.execute("SELECT balance FROM acc WHERE id = 1")[0]["balance"]
+    if overdrawn < 0:
+        db.execute("ROLLBACK")
+        outcome = "rolled back (insufficient funds)"
+    else:  # pragma: no cover - depends on the balances above
+        db.execute("COMMIT")
+        outcome = "committed"
+    state = db.execute("SELECT id, balance FROM acc ORDER BY id")
+    print(f"\ntransfer {outcome}: {[(r['id'], r['balance']) for r in state]}")
+
+    print(f"\nstorage: {db.fs.logical_bytes()} logical bytes, "
+          f"{db.fs.physical_bytes()} physical, "
+          f"ratio {db.fs.compression_ratio():.2f}x")
+
+
+if __name__ == "__main__":
+    main()

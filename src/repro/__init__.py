@@ -1,0 +1,25 @@
+"""Reproduction of *CompressDB: Enabling Efficient Compressed Data
+Direct Processing for Various Databases* (SIGMOD 2022).
+
+The package is organised as in the paper's Figure 2 plus the substrates
+the evaluation depends on:
+
+* :mod:`repro.storage` — block devices, inodes, simulated cost model;
+* :mod:`repro.core` — the CompressDB engine (data structures,
+  compressor, operation pushdown);
+* :mod:`repro.fs` — file-system layer (FUSE substitute) with baseline
+  and CompressDB-backed implementations;
+* :mod:`repro.tadoc` — the TADOC grammar-compression baseline;
+* :mod:`repro.compression` — general-purpose LZ codecs;
+* :mod:`repro.succinct` — the Succinct suffix-array comparison system;
+* :mod:`repro.databases` — SQLite/LevelDB/MongoDB/ClickHouse stand-ins;
+* :mod:`repro.distributed` — the MooseFS-like cluster simulator;
+* :mod:`repro.workloads` — dataset and query generators;
+* :mod:`repro.bench` — experiment harness shared by ``benchmarks/``.
+"""
+
+from repro.core.engine import CompressDB
+
+__version__ = "1.0.0"
+
+__all__ = ["CompressDB", "__version__"]

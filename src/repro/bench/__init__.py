@@ -1,0 +1,39 @@
+"""Benchmark harness shared by the ``benchmarks/`` directory."""
+
+from repro.bench.report import (
+    format_table,
+    improvement_percent,
+    print_comparison,
+    print_series,
+    print_table,
+    reduction_percent,
+    speedup,
+)
+from repro.bench.runner import (
+    DATABASES,
+    VARIANTS,
+    MountedFS,
+    WorkloadResult,
+    load_dataset_into_fs,
+    make_database,
+    make_fs,
+    run_database_workload,
+)
+
+__all__ = [
+    "DATABASES",
+    "MountedFS",
+    "VARIANTS",
+    "WorkloadResult",
+    "format_table",
+    "improvement_percent",
+    "load_dataset_into_fs",
+    "make_database",
+    "make_fs",
+    "print_comparison",
+    "print_series",
+    "print_table",
+    "reduction_percent",
+    "run_database_workload",
+    "speedup",
+]

@@ -1,0 +1,88 @@
+"""Paper-style table and series printing for the benchmarks.
+
+Every benchmark prints the rows/series the paper reports, in a format
+that can be eyeballed against the original figure or table.  These
+helpers keep the formatting consistent across ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def print_series(title: str, points: Iterable[tuple[object, object]], xlabel: str = "x", ylabel: str = "y") -> None:
+    """Print a figure series as (x, y) rows."""
+    print_table([xlabel, ylabel], points, title=title)
+
+
+def print_comparison(
+    title: str,
+    metric: str,
+    measured: float,
+    paper: Optional[float] = None,
+    unit: str = "",
+) -> None:
+    """Print one measured value next to the paper's reported value."""
+    if paper is None:
+        print(f"{title}: {metric} = {measured:.3g}{unit}")
+    else:
+        print(f"{title}: {metric} = {measured:.3g}{unit} (paper reports {paper:.3g}{unit})")
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative improvement of a higher-is-better metric, in percent."""
+    if baseline == 0:
+        return 0.0
+    return (improved - baseline) / baseline * 100.0
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Relative reduction of a lower-is-better metric, in percent."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.01 or abs(cell) >= 100000):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

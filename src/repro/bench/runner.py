@@ -1,0 +1,170 @@
+"""Experiment harness: run (database × file-system variant × dataset).
+
+Used by every end-to-end benchmark under ``benchmarks/``.  A *variant*
+is one of the four systems of Section 6.1:
+
+* ``baseline`` — the plain file system (original FUSE / MooseFS);
+* ``baseline-lz4`` — baseline plus general-purpose LZ4 segments;
+* ``compressdb`` — CompressFS (the paper's system);
+* ``compressdb-lz4`` — LZ4 segments stacked on CompressFS.
+
+Timing is *simulated* (see :mod:`repro.storage.simclock`): every block
+and network access is charged to a shared clock, so the reported
+throughput/latency reflect an I/O-bound deployment rather than Python
+interpreter speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.databases.common import Database
+from repro.databases.minicolumn import MiniColumn
+from repro.databases.minileveldb import MiniLevelDB
+from repro.databases.minimongo import MiniMongo
+from repro.databases.minisql import MiniSQL
+from repro.fs.compressfs import CompressFS
+from repro.fs.overlay_lz4 import CompressedOverlayFS
+from repro.fs.vfs import FileSystem, PassthroughFS
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import HDD_5400RPM, DeviceProfile, SimClock
+from repro.workloads.datasets import Dataset
+from repro.workloads.metrics import LatencyRecorder, LatencySummary
+from repro.workloads.querygen import QueryMixGenerator, ReadOp, WriteOp
+
+VARIANTS = ("baseline", "baseline-lz4", "compressdb", "compressdb-lz4")
+DATABASES = ("sqlite", "leveldb", "mongodb", "clickhouse")
+
+
+@dataclass
+class MountedFS:
+    """A file system plus the clock charging its simulated time."""
+
+    fs: FileSystem
+    clock: SimClock
+    variant: str
+
+
+def make_fs(
+    variant: str,
+    block_size: int = 1024,
+    profile: DeviceProfile = HDD_5400RPM,
+    segment_bytes: int = 4096,
+    cache_blocks: int = 256,
+) -> MountedFS:
+    """Instantiate one of the four evaluation variants.
+
+    Every variant gets the same page-cache budget (``cache_blocks``);
+    deduplication shrinks the unique working set, which is how
+    CompressDB converts space savings into read savings.
+    """
+    clock = SimClock()
+    device = MemoryBlockDevice(
+        block_size=block_size, profile=profile, clock=clock, cache_blocks=cache_blocks
+    )
+    base: FileSystem
+    if variant in ("baseline", "baseline-lz4"):
+        base = PassthroughFS(device=device)
+    elif variant in ("compressdb", "compressdb-lz4"):
+        base = CompressFS(device=device)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    if variant.endswith("-lz4"):
+        fs: FileSystem = CompressedOverlayFS(base, segment_bytes=segment_bytes)
+    else:
+        fs = base
+    return MountedFS(fs=fs, clock=clock, variant=variant)
+
+
+def make_database(name: str, fs: FileSystem) -> Database:
+    """Instantiate one of the four databases on a mounted file system."""
+    if name == "sqlite":
+        db: Database = MiniSQL(fs)
+        db.bench_setup()  # type: ignore[attr-defined]
+        return db
+    if name == "leveldb":
+        return MiniLevelDB(fs)
+    if name == "mongodb":
+        return MiniMongo(fs)
+    if name == "clickhouse":
+        db = MiniColumn(fs)
+        db.bench_setup()  # type: ignore[attr-defined]
+        return db
+    raise ValueError(f"unknown database {name!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """One cell of Figures 7/8: a (database, dataset, variant) run."""
+
+    database: str
+    dataset: str
+    variant: str
+    operations: int
+    simulated_seconds: float
+    latency: LatencySummary
+    compression_ratio: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.operations / self.simulated_seconds
+
+
+def run_database_workload(
+    database: str,
+    dataset: Dataset,
+    variant: str,
+    operations: int = 300,
+    universe: int = 200,
+    preload: int = 200,
+    payload_bytes: int = 512,
+    block_size: int = 1024,
+    profile: DeviceProfile = HDD_5400RPM,
+    seed: int = 42,
+) -> WorkloadResult:
+    """Run the Section 6.1 benchmark: preload, then a 50/50 query mix."""
+    mounted = make_fs(variant, block_size=block_size, profile=profile)
+    db = make_database(database, mounted.fs)
+    generator = QueryMixGenerator(
+        dataset,
+        universe=universe,
+        payload_bytes=payload_bytes,
+        seed=seed,
+    )
+    for op in generator.preload_operations(preload):
+        db.bench_write(op.key, op.value)
+    db.close()
+
+    latencies = LatencyRecorder()
+    start = mounted.clock.now
+    for op in generator.operations(operations):
+        op_start = mounted.clock.now
+        if isinstance(op, WriteOp):
+            db.bench_write(op.key, op.value)
+        else:
+            assert isinstance(op, ReadOp)
+            db.bench_read(op.key)
+        latencies.record(mounted.clock.now - op_start)
+    db.close()
+    elapsed = mounted.clock.now - start
+
+    ratio = 1.0
+    if hasattr(mounted.fs, "compression_ratio"):
+        ratio = mounted.fs.compression_ratio()
+    return WorkloadResult(
+        database=database,
+        dataset=dataset.name,
+        variant=variant,
+        operations=operations,
+        simulated_seconds=elapsed,
+        latency=latencies.summary(),
+        compression_ratio=ratio,
+    )
+
+
+def load_dataset_into_fs(fs: FileSystem, dataset: Dataset) -> None:
+    """Ingest every dataset file (used by the operation benchmarks)."""
+    for path, data in dataset.files.items():
+        fs.write_file(path, data)

@@ -1,0 +1,344 @@
+"""``compressdb`` — a command-line front end for persistent engine images.
+
+The engine persists to a single image file (see
+:mod:`repro.core.superblock`), so the full query + manipulation surface
+is usable from the shell::
+
+    compressdb init store.img
+    compressdb put store.img ./corpus.txt /corpus.txt
+    compressdb search store.img /corpus.txt "needle"
+    compressdb insert store.img /corpus.txt 100 "spliced in"
+    compressdb stats store.img
+    compressdb serve store.img /tmp/compressdb.sock   # unix-socket API
+
+Every mutating command flushes the metadata image before exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.api import SocketServer
+from repro.core.engine import CompressDB
+from repro.storage.block_device import FileBlockDevice
+
+
+class CLIError(Exception):
+    """User-facing command failure (bad arguments, missing files)."""
+
+
+def _mount(image: str, block_size: int = 1024) -> CompressDB:
+    device = FileBlockDevice(image, block_size=block_size)
+    return CompressDB.mount(device)
+
+
+def _close(engine: CompressDB, flush: bool) -> None:
+    if flush:
+        engine.flush()
+    device = engine.device
+    if isinstance(device, FileBlockDevice):
+        device.close()
+
+
+def cmd_init(args) -> int:
+    engine = _mount(args.image, block_size=args.block_size)
+    _close(engine, flush=True)
+    print(f"initialised {args.image} (block size {args.block_size})")
+    return 0
+
+
+def cmd_put(args) -> int:
+    with open(args.source, "rb") as handle:
+        data = handle.read()
+    engine = _mount(args.image)
+    engine.write_file(args.path, data)
+    _close(engine, flush=True)
+    print(f"stored {len(data)} bytes at {args.path}")
+    return 0
+
+
+def cmd_get(args) -> int:
+    engine = _mount(args.image)
+    data = engine.read_file(args.path)
+    _close(engine, flush=False)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"wrote {len(data)} bytes to {args.output}")
+    else:
+        sys.stdout.buffer.write(data)
+    return 0
+
+
+def cmd_ls(args) -> int:
+    engine = _mount(args.image)
+    for path in engine.list_files():
+        print(f"{engine.file_size(path):>12}  {path}")
+    _close(engine, flush=False)
+    return 0
+
+
+def cmd_rm(args) -> int:
+    engine = _mount(args.image)
+    engine.unlink(args.path)
+    _close(engine, flush=True)
+    print(f"removed {args.path}")
+    return 0
+
+
+def cmd_cp(args) -> int:
+    engine = _mount(args.image)
+    engine.copy_file(args.source, args.dest)
+    _close(engine, flush=True)
+    print(f"cloned {args.source} -> {args.dest} (no data copied)")
+    return 0
+
+
+def _payload(args) -> bytes:
+    if getattr(args, "from_file", None):
+        with open(args.from_file, "rb") as handle:
+            return handle.read()
+    if args.data is None:
+        raise CLIError("provide DATA or --from-file")
+    return args.data.encode("utf-8")
+
+
+def cmd_insert(args) -> int:
+    data = _payload(args)
+    engine = _mount(args.image)
+    engine.ops.insert(args.path, args.offset, data)
+    _close(engine, flush=True)
+    print(f"inserted {len(data)} bytes at offset {args.offset}")
+    return 0
+
+
+def cmd_delete(args) -> int:
+    engine = _mount(args.image)
+    engine.ops.delete(args.path, args.offset, args.length)
+    _close(engine, flush=True)
+    print(f"deleted {args.length} bytes at offset {args.offset}")
+    return 0
+
+
+def cmd_replace(args) -> int:
+    data = _payload(args)
+    engine = _mount(args.image)
+    engine.ops.replace(args.path, args.offset, data)
+    _close(engine, flush=True)
+    print(f"replaced {len(data)} bytes at offset {args.offset}")
+    return 0
+
+
+def cmd_append(args) -> int:
+    data = _payload(args)
+    engine = _mount(args.image)
+    engine.ops.append(args.path, data)
+    _close(engine, flush=True)
+    print(f"appended {len(data)} bytes")
+    return 0
+
+
+def cmd_search(args) -> int:
+    engine = _mount(args.image)
+    offsets = engine.ops.search(args.path, args.pattern.encode("utf-8"))
+    _close(engine, flush=False)
+    for offset in offsets:
+        print(offset)
+    print(f"{len(offsets)} occurrence(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_count(args) -> int:
+    engine = _mount(args.image)
+    total = engine.ops.count(args.path, args.pattern.encode("utf-8"))
+    _close(engine, flush=False)
+    print(total)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    engine = _mount(args.image)
+    report = engine.memory_report()
+    print(f"files:             {len(engine.list_files())}")
+    print(f"logical bytes:     {engine.logical_bytes()}")
+    print(f"physical bytes:    {engine.physical_bytes()}")
+    print(f"compression ratio: {engine.compression_ratio():.3f}")
+    print(f"unique blocks:     {engine.physical_data_blocks()}")
+    print(f"holes:             {engine.holes.total_hole_count()} "
+          f"({engine.holes.total_hole_bytes()} bytes)")
+    print(f"blockHashTable:    {report['blockHashTable_bytes']} bytes")
+    _close(engine, flush=False)
+    return 0
+
+
+def cmd_wordcount(args) -> int:
+    engine = _mount(args.image)
+    counts = engine.ops.word_count(args.path)
+    _close(engine, flush=False)
+    for word, count in counts.most_common(args.top):
+        print(f"{count:>8}  {word.decode('utf-8', errors='replace')}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    engine = _mount(args.image)
+    info = engine.describe(args.path)
+    _close(engine, flush=False)
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    engine = _mount(args.image)
+    report = engine.fsck()
+    _close(engine, flush=True)
+    print(f"refcounts fixed:  {report['refcounts_fixed']}")
+    print(f"blocks reclaimed: {report['blocks_reclaimed']}")
+    print(f"index entries:    {report['index_entries']}")
+    return 0
+
+
+def cmd_defrag(args) -> int:
+    engine = _mount(args.image)
+    saved = engine.defragment(args.path)
+    _close(engine, flush=True)
+    print(f"reclaimed {saved} slot(s)")
+    return 0
+
+
+def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
+    engine = _mount(args.image)
+    server = SocketServer(engine, args.socket)
+    server.start()
+    print(f"serving {args.image} on {args.socket}; Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        _close(engine, flush=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="compressdb",
+        description="CompressDB image tool: query and manipulate compressed data in place",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a new image")
+    p.add_argument("image")
+    p.add_argument("--block-size", type=int, default=1024)
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("put", help="store a host file in the image")
+    p.add_argument("image")
+    p.add_argument("source")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="extract a file from the image")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("ls", help="list files")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("rm", help="remove a file")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_rm)
+
+    p = sub.add_parser("cp", help="reflink-clone a file (shares all blocks)")
+    p.add_argument("image")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.set_defaults(func=cmd_cp)
+
+    for name, func, extra in (
+        ("insert", cmd_insert, ("offset",)),
+        ("replace", cmd_replace, ("offset",)),
+        ("append", cmd_append, ()),
+    ):
+        p = sub.add_parser(name, help=f"{name} bytes directly in the compressed file")
+        p.add_argument("image")
+        p.add_argument("path")
+        for argument in extra:
+            p.add_argument(argument, type=int)
+        p.add_argument("data", nargs="?")
+        p.add_argument("--from-file")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("delete", help="delete a byte range in place")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.add_argument("offset", type=int)
+    p.add_argument("length", type=int)
+    p.set_defaults(func=cmd_delete)
+
+    for name, func in (("search", cmd_search), ("count", cmd_count)):
+        p = sub.add_parser(name, help=f"{name} a pattern over the compressed data")
+        p.add_argument("image")
+        p.add_argument("path")
+        p.add_argument("pattern")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("stats", help="space and structure statistics")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("describe", help="structural summary of one file")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("wordcount", help="word counts computed on the compressed form")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=cmd_wordcount)
+
+    p = sub.add_parser("fsck", help="verify and repair engine metadata")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("defrag", help="rewrite a file without holes")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_defrag)
+
+    p = sub.add_parser("serve", help="expose the image on a unix socket")
+    p.add_argument("image")
+    p.add_argument("socket")
+    p.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""General-purpose compression codecs (LZ4- and Snappy-format)."""
+
+from repro.compression.lz import (
+    Codec,
+    CorruptStream,
+    IdentityCodec,
+    LZ4Codec,
+    SnappyCodec,
+    lz4_compress,
+    lz4_decompress,
+    snappy_compress,
+    snappy_decompress,
+)
+
+__all__ = [
+    "Codec",
+    "CorruptStream",
+    "IdentityCodec",
+    "LZ4Codec",
+    "SnappyCodec",
+    "lz4_compress",
+    "lz4_decompress",
+    "snappy_compress",
+    "snappy_decompress",
+]

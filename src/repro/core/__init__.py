@@ -1,0 +1,46 @@
+"""CompressDB core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.engine.CompressDB` — the storage engine;
+* :class:`~repro.core.api.DirectAPI` /
+  :class:`~repro.core.api.SocketServer` /
+  :class:`~repro.core.api.SocketClient` — the non-POSIX operation APIs;
+* the data-structure module pieces for inspection and benchmarking.
+"""
+
+from repro.core.api import APIError, DirectAPI, SocketClient, SocketServer
+from repro.core.compressor import Compressor, CompressorStats
+from repro.core.engine import (
+    BlockHandle,
+    CompressDB,
+    FileExistsInEngine,
+    FileNotFoundInEngine,
+)
+from repro.core.superblock import PersistenceError
+from repro.core.hashtable import BlockHashTable, hash_block
+from repro.core.holes import Hole, HoleDirectory
+from repro.core.operations import OperationError, OperationModule, OperationStats
+from repro.core.refcount import BlockRefCount
+
+__all__ = [
+    "APIError",
+    "BlockHandle",
+    "BlockHashTable",
+    "BlockRefCount",
+    "CompressDB",
+    "Compressor",
+    "CompressorStats",
+    "DirectAPI",
+    "FileExistsInEngine",
+    "FileNotFoundInEngine",
+    "Hole",
+    "HoleDirectory",
+    "OperationError",
+    "OperationModule",
+    "OperationStats",
+    "PersistenceError",
+    "SocketClient",
+    "SocketServer",
+    "hash_block",
+]

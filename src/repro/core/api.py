@@ -1,0 +1,249 @@
+"""Non-POSIX operation APIs, including the unix-socket protocol.
+
+Section 5 of the paper: operations with no POSIX counterpart
+(``insert``, ``delete``, ``search``, ``count``) are exposed through a
+separate API set; the experiments pass parameters and results through
+unix sockets.  This module provides both forms:
+
+* :class:`DirectAPI` — in-process calls against an engine (what a
+  database linked with CompressDB would use);
+* :class:`SocketServer` / :class:`SocketClient` — a length-prefixed
+  JSON protocol over an ``AF_UNIX`` socket, for out-of-process callers.
+
+Binary payloads are hex-encoded inside the JSON envelope so the
+protocol stays self-describing and debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.core.engine import CompressDB
+
+_LENGTH = struct.Struct("<I")
+
+
+class APIError(Exception):
+    """Raised by the client when the server reports a failure."""
+
+
+class DirectAPI:
+    """In-process facade over the pushdown operations of one engine."""
+
+    def __init__(self, engine: CompressDB) -> None:
+        self._engine = engine
+
+    def insert(self, path: str, offset: int, data: bytes) -> None:
+        self._engine.ops.insert(path, offset, data)
+
+    def delete(self, path: str, offset: int, length: int) -> None:
+        self._engine.ops.delete(path, offset, length)
+
+    def replace(self, path: str, offset: int, data: bytes) -> None:
+        self._engine.ops.replace(path, offset, data)
+
+    def append(self, path: str, data: bytes) -> None:
+        self._engine.ops.append(path, data)
+
+    def extract(self, path: str, offset: int, size: int) -> bytes:
+        return self._engine.ops.extract(path, offset, size)
+
+    def search(self, path: str, pattern: bytes) -> list[int]:
+        return self._engine.ops.search(path, pattern)
+
+    def count(self, path: str, pattern: bytes) -> int:
+        return self._engine.ops.count(path, pattern)
+
+    def word_count(self, path: str) -> dict[bytes, int]:
+        return dict(self._engine.ops.word_count(path))
+
+
+def _send_message(conn: socket.socket, payload: dict) -> None:
+    raw = json.dumps(payload).encode("utf-8")
+    conn.sendall(_LENGTH.pack(len(raw)) + raw)
+
+
+def _recv_exact(conn: socket.socket, size: int) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_message(conn: socket.socket) -> dict:
+    (length,) = _LENGTH.unpack(_recv_exact(conn, _LENGTH.size))
+    return json.loads(_recv_exact(conn, length).decode("utf-8"))
+
+
+class SocketServer:
+    """Serves one engine's pushdown operations on a unix socket."""
+
+    def __init__(self, engine: CompressDB, socket_path: str) -> None:
+        self._api = DirectAPI(engine)
+        self.socket_path = socket_path
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        # The engine is single-writer: one lock serialises operations
+        # from concurrent client connections.
+        self._engine_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+
+    def start(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        for worker in self._workers:
+            worker.join(timeout=5)
+        if self._sock is not None:
+            self._sock.close()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    def __enter__(self) -> "SocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _serve(self) -> None:
+        assert self._sock is not None
+        while self._running:
+            try:
+                conn, __ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - socket torn down mid-accept
+                break
+            worker = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            self._workers.append(worker)
+            worker.start()
+            self._workers = [w for w in self._workers if w.is_alive()]
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(0.5)
+            try:
+                while self._running:
+                    try:
+                        request = _recv_message(conn)
+                    except socket.timeout:
+                        continue
+                    with self._engine_lock:
+                        response = self._handle(request)
+                    _send_message(conn, response)
+            except (ConnectionError, json.JSONDecodeError, OSError):
+                return
+
+    def _handle(self, request: dict) -> dict:
+        try:
+            op = request["op"]
+            path = request.get("path", "")
+            if op == "insert":
+                self._api.insert(path, request["offset"], bytes.fromhex(request["data"]))
+                result: object = None
+            elif op == "delete":
+                self._api.delete(path, request["offset"], request["length"])
+                result = None
+            elif op == "replace":
+                self._api.replace(path, request["offset"], bytes.fromhex(request["data"]))
+                result = None
+            elif op == "append":
+                self._api.append(path, bytes.fromhex(request["data"]))
+                result = None
+            elif op == "extract":
+                result = self._api.extract(path, request["offset"], request["size"]).hex()
+            elif op == "search":
+                result = self._api.search(path, bytes.fromhex(request["pattern"]))
+            elif op == "count":
+                result = self._api.count(path, bytes.fromhex(request["pattern"]))
+            elif op == "word_count":
+                result = {
+                    word.hex(): count
+                    for word, count in self._api.word_count(path).items()
+                }
+            else:
+                raise APIError(f"unknown operation {op!r}")
+        except Exception as exc:  # surface every failure to the client
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, "result": result}
+
+
+class SocketClient:
+    """Client for :class:`SocketServer`'s length-prefixed JSON protocol."""
+
+    def __init__(self, socket_path: str) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.connect(socket_path)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, request: dict) -> object:
+        _send_message(self._sock, request)
+        response = _recv_message(self._sock)
+        if not response["ok"]:
+            raise APIError(response["error"])
+        return response["result"]
+
+    def insert(self, path: str, offset: int, data: bytes) -> None:
+        self._call({"op": "insert", "path": path, "offset": offset, "data": data.hex()})
+
+    def delete(self, path: str, offset: int, length: int) -> None:
+        self._call({"op": "delete", "path": path, "offset": offset, "length": length})
+
+    def replace(self, path: str, offset: int, data: bytes) -> None:
+        self._call({"op": "replace", "path": path, "offset": offset, "data": data.hex()})
+
+    def append(self, path: str, data: bytes) -> None:
+        self._call({"op": "append", "path": path, "data": data.hex()})
+
+    def extract(self, path: str, offset: int, size: int) -> bytes:
+        result = self._call({"op": "extract", "path": path, "offset": offset, "size": size})
+        assert isinstance(result, str)
+        return bytes.fromhex(result)
+
+    def search(self, path: str, pattern: bytes) -> list[int]:
+        result = self._call({"op": "search", "path": path, "pattern": pattern.hex()})
+        assert isinstance(result, list)
+        return result
+
+    def count(self, path: str, pattern: bytes) -> int:
+        result = self._call({"op": "count", "path": path, "pattern": pattern.hex()})
+        assert isinstance(result, int)
+        return result
+
+    def word_count(self, path: str) -> dict[bytes, int]:
+        result = self._call({"op": "word_count", "path": path})
+        assert isinstance(result, dict)
+        return {bytes.fromhex(word): count for word, count in result.items()}

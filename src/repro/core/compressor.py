@@ -1,0 +1,169 @@
+"""Real-time compression module: Algorithm 1 from the paper.
+
+Every modification of a data block goes through :meth:`Compressor.commit`,
+which is the paper's block-``release`` hook (Section 4.3): the modified
+content arrives in a temporary buffer, a duplicate block is searched via
+blockHashTable, and either the pointer is redirected to the duplicate,
+the block is updated in place (refcount 1), or a copy-on-write block is
+allocated (refcount > 1).  New data (append/insert) goes through
+:meth:`store`, which performs the same duplicate-or-allocate decision.
+
+Blocks are always hashed over their full, zero-padded content so that a
+block carrying a hole is "regarded as a regular block" (Section 4.4,
+influence of insert on the other operations) and can still be shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.hashtable import BlockHashTable
+from repro.core.refcount import BlockRefCount
+from repro.storage.block_device import BlockDevice
+from repro.storage.inode import Inode, Slot
+
+
+@dataclass
+class CompressorStats:
+    """Counters describing the compressor's behaviour."""
+
+    commits: int = 0
+    stores: int = 0
+    dedup_hits: int = 0
+    in_place_updates: int = 0
+    cow_allocations: int = 0
+    fresh_allocations: int = 0
+    releases: int = 0
+    blocks_freed: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class Compressor:
+    """Implements Algorithm 1 over a device, hash table, and refcounts."""
+
+    device: BlockDevice
+    hashtable: BlockHashTable
+    refcount: BlockRefCount
+    dedup: bool = True
+    stats: CompressorStats = field(default_factory=CompressorStats)
+
+    def _pad(self, content: bytes) -> bytes:
+        block_size = self.device.block_size
+        if len(content) > block_size:
+            raise ValueError(
+                f"content of {len(content)} bytes exceeds block size {block_size}"
+            )
+        if len(content) < block_size:
+            content = content + b"\x00" * (block_size - len(content))
+        return content
+
+    # -- new data ------------------------------------------------------------
+    def store(self, content: bytes, used: int) -> Slot:
+        """Store new data, reusing an identical live block when possible.
+
+        Returns a slot referencing either an existing block (refcount
+        incremented) or a freshly allocated one.
+        """
+        self.stats.stores += 1
+        padded = self._pad(content)
+        if self.dedup:
+            dup = self.hashtable.find_duplicate(padded)
+            if dup is not None:
+                self.stats.dedup_hits += 1
+                self.refcount.incref(dup)
+                return Slot(block_no=dup, used=used)
+        block_no = self.device.allocate()
+        self.device.write_block(block_no, padded)
+        if self.dedup:
+            self.hashtable.add_record(block_no, padded)
+        self.refcount.set(block_no, 1)
+        self.stats.fresh_allocations += 1
+        return Slot(block_no=block_no, used=used)
+
+    # -- Algorithm 1: modification of an existing block ------------------------
+    def commit(self, inode: Inode, slot_index: int, content: bytes, used: int) -> None:
+        """Apply a modification of slot ``slot_index`` to ``content``.
+
+        ``content`` plays the role of Algorithm 1's temporary block
+        ``tmp``; the slot is the pointer ``ptr``; the block it currently
+        references is ``curr``.
+        """
+        self.stats.commits += 1
+        padded = self._pad(content)
+        curr = inode.slot_at(slot_index)
+        dup = self.hashtable.find_duplicate(padded) if self.dedup else None
+        if dup is not None:
+            if dup == curr.block_no:
+                # Content unchanged; only the hole boundary may move.
+                if used != curr.used:
+                    inode.set_used(slot_index, used)
+                return
+            # Duplicate block found: redirect the pointer to it.
+            self.stats.dedup_hits += 1
+            if self.refcount.get(curr.block_no) == 1:
+                self.hashtable.delete_record(curr.block_no)
+                self.refcount.decref(curr.block_no)
+                self.device.free(curr.block_no)
+                self.stats.blocks_freed += 1
+            else:
+                self.refcount.decref(curr.block_no)
+            self.refcount.incref(dup)
+            inode.replace_slot(slot_index, Slot(block_no=dup, used=used))
+            return
+        if self.refcount.get(curr.block_no) == 1:
+            # Sole reference: update the block in place, renew its record.
+            if self.dedup:
+                self.hashtable.delete_record(curr.block_no)
+            self.device.write_block(curr.block_no, padded)
+            if self.dedup:
+                self.hashtable.add_record(curr.block_no, padded)
+            if used != curr.used:
+                inode.set_used(slot_index, used)
+            self.stats.in_place_updates += 1
+            return
+        # Shared block: copy on write.
+        self.refcount.decref(curr.block_no)
+        block_no = self.device.allocate()
+        self.device.write_block(block_no, padded)
+        if self.dedup:
+            self.hashtable.add_record(block_no, padded)
+        self.refcount.set(block_no, 1)
+        inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
+        self.stats.cow_allocations += 1
+
+    # -- release -----------------------------------------------------------------
+    def release(self, slot: Slot) -> None:
+        """Drop one reference to the slot's block, freeing it at zero."""
+        self.stats.releases += 1
+        remaining = self.refcount.decref(slot.block_no)
+        if remaining == 0:
+            if self.dedup and slot.block_no in self.hashtable:
+                self.hashtable.delete_record(slot.block_no)
+            self.device.free(slot.block_no)
+            self.stats.blocks_freed += 1
+
+    # -- index (re)construction ---------------------------------------------------
+    def rebuild_hashtable(self, inodes: Iterable[Inode]) -> int:
+        """Rebuild blockHashTable by scanning every live block.
+
+        Used after a simulated remount (the table is memory-only) and by
+        the index-construction benchmark (Section 6.5).  Returns the
+        number of blocks scanned.
+        """
+        self.hashtable.clear()
+        scanned = 0
+        seen: set[int] = set()
+        for inode in inodes:
+            for slot in inode.iter_slots():
+                if slot.block_no in seen:
+                    continue
+                seen.add(slot.block_no)
+                content = self.device.read_block(slot.block_no)
+                self.hashtable.add_record(slot.block_no, content)
+                scanned += 1
+        return scanned

@@ -1,0 +1,468 @@
+"""The CompressDB storage engine.
+
+Ties together the three modules of Figure 2:
+
+* the **data structure module** — :class:`~repro.core.hashtable.BlockHashTable`,
+  :class:`~repro.core.refcount.BlockRefCount`,
+  :class:`~repro.core.holes.HoleDirectory`;
+* the **compression module** — :class:`~repro.core.compressor.Compressor`
+  (Algorithm 1, triggered on every block release);
+* the **operation module** — :class:`~repro.core.operations.OperationModule`
+  (extract/replace/insert/delete/append/search/count pushdown).
+
+The engine owns a flat file namespace on one block device.  File
+systems (:mod:`repro.fs.compressfs`) and databases sit on top; they
+only ever see POSIX-like calls plus the extra pushdown APIs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from dataclasses import dataclass, field
+
+from repro.core import superblock as sb
+from repro.core.compressor import Compressor
+from repro.core.hashtable import BlockHashTable
+from repro.core.holes import HoleDirectory
+from repro.core.operations import OperationModule
+from repro.core.refcount import BlockRefCount
+from repro.storage.block_device import BlockDevice, MemoryBlockDevice
+from repro.storage.inode import Inode, Slot
+
+
+class FileExistsInEngine(Exception):
+    """Raised when creating a path that already exists."""
+
+
+class FileNotFoundInEngine(Exception):
+    """Raised when operating on a path that does not exist."""
+
+
+@dataclass
+class BlockHandle:
+    """A checked-out block: the unit of the get/release protocol.
+
+    Section 4.3: *"any read or modification to a block should be
+    performed after a block get call, and ends with a block release
+    call ... we use this design to launch our compressor for each
+    modification."*  The handle carries a private copy of the block's
+    valid bytes (the paper's temporary block); mutating it and calling
+    :meth:`CompressDB.release_block` runs Algorithm 1 exactly once.
+    """
+
+    path: str
+    slot_index: int
+    data: bytearray
+    _released: bool = field(default=False, repr=False)
+
+    @property
+    def used(self) -> int:
+        return len(self.data)
+
+
+class CompressDB:
+    """A compressed-data-direct-processing storage engine.
+
+    Parameters
+    ----------
+    device:
+        Block device to operate on; a fresh in-memory device by default.
+    page_capacity:
+        Leaf pointers per pointer page (bounds metadata fan-out).
+    hash_table_length:
+        Bucket count of blockHashTable.
+    dedup:
+        Disable to measure the engine without its compression module
+        (used by the index-construction ablation).
+    """
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        block_size: int = 1024,
+        page_capacity: int = 256,
+        hash_table_length: int = 1 << 16,
+        dedup: bool = True,
+    ) -> None:
+        self.device = device if device is not None else MemoryBlockDevice(block_size=block_size)
+        self.page_capacity = page_capacity
+        self._inodes: dict[str, Inode] = {}
+        self.hashtable = BlockHashTable(
+            reader=self.device.read_block, length=hash_table_length
+        )
+        self.refcount = BlockRefCount(self.device)
+        self.holes = HoleDirectory(self._inodes)
+        self.compressor = Compressor(
+            device=self.device,
+            hashtable=self.hashtable,
+            refcount=self.refcount,
+            dedup=dedup,
+        )
+        self.ops = OperationModule(engine=self)
+
+    @property
+    def block_size(self) -> int:
+        return self.device.block_size
+
+    # -- namespace -----------------------------------------------------------
+    def create(self, path: str) -> None:
+        """Create an empty file at ``path``."""
+        if path in self._inodes:
+            raise FileExistsInEngine(path)
+        self._inodes[path] = Inode(
+            block_size=self.device.block_size,
+            page_capacity=self.page_capacity,
+            device=self.device,
+        )
+
+    def exists(self, path: str) -> bool:
+        return path in self._inodes
+
+    def inode(self, path: str) -> Inode:
+        try:
+            return self._inodes[path]
+        except KeyError:
+            raise FileNotFoundInEngine(path) from None
+
+    def unlink(self, path: str) -> None:
+        """Delete a file, releasing every block it references."""
+        inode = self.inode(path)
+        for slot in inode.iter_slots():
+            self.compressor.release(slot)
+        del self._inodes[path]
+
+    def rename(self, old: str, new: str) -> None:
+        if new in self._inodes:
+            raise FileExistsInEngine(new)
+        self._inodes[new] = self.inode(old)
+        del self._inodes[old]
+
+    def copy_file(self, src: str, dst: str) -> None:
+        """Reflink-style copy: share every block, touch no data.
+
+        A natural capability of a refcounted store — the copy costs
+        one pointer table and ``num_slots`` refcount increments; the
+        files diverge lazily through copy-on-write as either side is
+        modified.
+        """
+        source = self.inode(src)
+        if dst in self._inodes:
+            raise FileExistsInEngine(dst)
+        clone = Inode(
+            block_size=self.device.block_size,
+            page_capacity=self.page_capacity,
+            device=self.device,
+        )
+        for slot in source.iter_slots():
+            self.refcount.incref(slot.block_no)
+            clone.append_slot(Slot(block_no=slot.block_no, used=slot.used))
+        self._inodes[dst] = clone
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """Paths in the namespace, optionally filtered by prefix."""
+        return sorted(p for p in self._inodes if p.startswith(prefix))
+
+    def file_size(self, path: str) -> int:
+        return self.inode(path).size
+
+    def iter_inodes(self) -> Iterator[Inode]:
+        return iter(self._inodes.values())
+
+    # -- block get/release protocol -----------------------------------------------
+    def get_block(self, path: str, slot_index: int) -> BlockHandle:
+        """Check out one block of a file for reading or modification.
+
+        The returned handle holds a copy of the slot's valid bytes;
+        grow or shrink it up to the block size before releasing.
+        """
+        inode = self.inode(path)
+        slot = inode.slot_at(slot_index)
+        raw = self.device.read_block(slot.block_no)
+        return BlockHandle(
+            path=path, slot_index=slot_index, data=bytearray(raw[: slot.used])
+        )
+
+    def release_block(self, handle: BlockHandle) -> None:
+        """Release a checked-out block, triggering Algorithm 1.
+
+        No-ops when the content is unchanged (the compressor detects
+        the identical block); otherwise the modification is committed
+        with dedup / in-place update / copy-on-write as appropriate.
+        A handle can be released only once.
+        """
+        if handle._released:
+            raise ValueError("block handle already released")
+        handle._released = True
+        if len(handle.data) > self.device.block_size:
+            raise ValueError(
+                f"handle grew to {len(handle.data)} bytes, block size is "
+                f"{self.device.block_size}"
+            )
+        inode = self.inode(handle.path)
+        self.compressor.commit(
+            inode, handle.slot_index, bytes(handle.data), len(handle.data)
+        )
+
+    # -- POSIX-like data access -------------------------------------------------
+    def read(self, path: str, offset: int, size: int) -> bytes:
+        """POSIX ``read``: short reads at end of file, never an error."""
+        return self.ops.extract(path, offset, size)
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        """POSIX ``write``: overwrite in place, extend past end of file.
+
+        Writing beyond the current end fills the gap with zero bytes
+        (sparse-write semantics).  Returns the number of bytes written.
+        """
+        inode = self.inode(path)
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if not data:
+            return 0  # POSIX: a zero-length write changes nothing
+        if offset > inode.size:
+            self.ops.append(path, b"\x00" * (offset - inode.size))
+        overlap = min(len(data), inode.size - offset)
+        if overlap > 0:
+            self.ops.replace(path, offset, data[:overlap])
+        if overlap < len(data):
+            self.ops.append(path, data[overlap:])
+        return len(data)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Grow (zero-fill) or shrink the file to exactly ``size`` bytes."""
+        inode = self.inode(path)
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size < inode.size:
+            self.ops.delete(path, size, inode.size - size)
+        elif size > inode.size:
+            self.ops.append(path, b"\x00" * (size - inode.size))
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read convenience."""
+        return self.ops.extract(path, 0, self.inode(path).size)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create-or-replace a file with ``data``."""
+        if self.exists(path):
+            self.unlink(path)
+        self.create(path)
+        self.ops.append(path, data)
+
+    # -- space accounting ------------------------------------------------------------
+    def logical_bytes(self) -> int:
+        """Total logical size of all files (what the user stored)."""
+        return sum(inode.size for inode in self._inodes.values())
+
+    def physical_data_blocks(self) -> int:
+        """Distinct live data blocks actually held on the device."""
+        return len(self.refcount)
+
+    def physical_bytes(self) -> int:
+        """Bytes occupied by distinct data blocks on the device."""
+        return self.physical_data_blocks() * self.device.block_size
+
+    def compression_ratio(self) -> float:
+        """Original size / compressed size (Table 2 metric)."""
+        physical = self.physical_bytes()
+        if physical == 0:
+            return 1.0
+        return self.logical_bytes() / physical
+
+    def memory_report(self) -> dict[str, int]:
+        """In-memory data-structure footprints (Table 3 metric)."""
+        hashtable = self.hashtable.memory_bytes()
+        holes = self.holes.memory_bytes()
+        return {
+            "blockHashTable_bytes": hashtable,
+            "blockHole_bytes": holes,
+            "blockRefCount_bytes": self.refcount.memory_bytes(),
+            "total_bytes": hashtable + holes,
+        }
+
+    # -- remount / durability -----------------------------------------------------------
+    def flush(self) -> None:
+        """Persist the durable structures.
+
+        Always writes the refcount partition (Section 4.2).  On a
+        *formatted* device (see :meth:`mount`) the full metadata image
+        — namespace, slot tables, partition pointers — is additionally
+        written to the superblock's metadata chain, making the engine
+        remountable from the raw device in another process.
+        """
+        self.refcount.persist()
+        if not sb.is_formatted(self.device):
+            return
+        old_head = sb.read_superblock(self.device)
+        if old_head != sb.NO_BLOCK:
+            __, old_chain = sb.read_chain(self.device, old_head)
+            sb.update_superblock(self.device, sb.NO_BLOCK)
+            for block_no in old_chain:
+                self.device.free(block_no)
+        payload = sb.serialize_metadata(
+            self._inodes, self.refcount.partition_blocks
+        )
+        head = sb.write_chain(self.device, payload)
+        sb.update_superblock(self.device, head)
+
+    @classmethod
+    def mount(cls, device: BlockDevice, **engine_kwargs) -> "CompressDB":
+        """Open (or create) a persistent engine on a formatted device.
+
+        A fresh device is formatted (block 0 becomes the superblock); a
+        device carrying an image has its namespace, refcounts, and free
+        list restored, and the memory-only blockHashTable rebuilt by a
+        single scan of the unique data blocks.
+        """
+        if not sb.is_formatted(device):
+            if device.total_blocks > 0:
+                raise sb.PersistenceError(
+                    "device contains data but no CompressDB superblock"
+                )
+            engine = cls(device=device, **engine_kwargs)
+            sb.format_device(device)
+            return engine
+        engine = cls(device=device, **engine_kwargs)
+        head = sb.read_superblock(device)
+        chain_blocks: list[int] = []
+        if head != sb.NO_BLOCK:
+            payload, chain_blocks = sb.read_chain(device, head)
+            inodes, partition = sb.deserialize_metadata(
+                payload, device.block_size, engine.page_capacity, device
+            )
+            engine._inodes.update(inodes)
+            engine.refcount.adopt_partition(partition)
+            engine.refcount.restore()
+        used = (
+            {sb.SUPERBLOCK_NO}
+            | set(chain_blocks)
+            | set(engine.refcount.partition_blocks)
+            | set(engine.refcount.live_blocks())
+        )
+        device.rebuild_free_list(used)
+        engine.compressor.rebuild_hashtable(engine.iter_inodes())
+        return engine
+
+    def remount(self) -> int:
+        """Simulate unmount + mount (Section 4.2 durability discussion).
+
+        The refcount partition is persisted and restored from the
+        device; the memory-only blockHashTable is dropped and rebuilt
+        by scanning the live blocks.  Returns the number of blocks
+        scanned during index reconstruction.
+        """
+        self.refcount.persist()
+        self.refcount.restore()
+        return self.compressor.rebuild_hashtable(self.iter_inodes())
+
+    def describe(self, path: str) -> dict[str, object]:
+        """Structural summary of one file (for inspection and the CLI)."""
+        inode = self.inode(path)
+        block_numbers = inode.all_block_numbers()
+        distinct = set(block_numbers)
+        shared = sum(
+            1 for block_no in distinct if self.refcount.get(block_no) > 1
+        )
+        return {
+            "path": path,
+            "size": inode.size,
+            "slots": inode.num_slots,
+            "pointer_pages": inode.num_pages,
+            "depth": inode.depth,
+            "distinct_blocks": len(distinct),
+            "shared_blocks": shared,
+            "hole_slots": inode.hole_slots,
+            "hole_bytes": inode.hole_bytes,
+        }
+
+    # -- maintenance ---------------------------------------------------------------------
+    def defragment(self, path: str) -> int:
+        """Rewrite a file without holes; returns slots eliminated.
+
+        Holes accumulate under heavy insert/delete traffic (the paper
+        notes repairing them is data movement, so it is done on demand,
+        not inline).  The rewritten blocks go through the compressor,
+        so dedup is preserved.
+        """
+        inode = self.inode(path)
+        before = inode.num_slots
+        data = self.read_file(path)
+        old_slots = list(inode.iter_slots())
+        while inode.num_slots:
+            inode.remove_slot(inode.num_slots - 1)
+        block_size = self.device.block_size
+        for start in range(0, len(data), block_size):
+            piece = data[start : start + block_size]
+            inode.append_slot(self.compressor.store(piece, len(piece)))
+        # Release the old references only after the new ones exist, so
+        # shared blocks that survive the rewrite are never freed.
+        for slot in old_slots:
+            self.compressor.release(slot)
+        return before - inode.num_slots
+
+    def fsck(self) -> dict[str, int]:
+        """Verify and repair engine metadata against the inodes.
+
+        Recomputes blockRefCount from the pointer tables, frees leaked
+        blocks (counted but unreferenced), and rebuilds blockHashTable.
+        Returns a report of what was repaired — all zeros on a healthy
+        engine.
+        """
+        observed: dict[int, int] = {}
+        for inode in self._inodes.values():
+            for slot in inode.iter_slots():
+                observed[slot.block_no] = observed.get(slot.block_no, 0) + 1
+        fixed = 0
+        for block_no, expected in observed.items():
+            if self.refcount.get(block_no) != expected:
+                self.refcount.set(block_no, expected)
+                fixed += 1
+        leaked = 0
+        for block_no in self.refcount.live_blocks():
+            if block_no not in observed:
+                self.refcount.set(block_no, 0)
+                self.device.free(block_no)
+                leaked += 1
+        rebuilt = self.compressor.rebuild_hashtable(self.iter_inodes())
+        return {
+            "refcounts_fixed": fixed,
+            "blocks_reclaimed": leaked,
+            "index_entries": rebuilt,
+        }
+
+    # -- integrity ----------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Engine-wide consistency checks used by property tests.
+
+        * every inode's internal accounting holds;
+        * refcounts equal the number of slots referencing each block;
+        * every live block is resolvable through blockHashTable and no
+          two live blocks share content (full dedup).
+        """
+        observed: dict[int, int] = {}
+        for inode in self._inodes.values():
+            inode.check_invariants()
+            for slot in inode.iter_slots():
+                observed[slot.block_no] = observed.get(slot.block_no, 0) + 1
+        for block_no, expected in observed.items():
+            actual = self.refcount.get(block_no)
+            if actual != expected:
+                raise AssertionError(
+                    f"block {block_no}: refcount {actual} != {expected} references"
+                )
+        for block_no in self.refcount.live_blocks():
+            if block_no not in observed:
+                raise AssertionError(f"block {block_no} refcounted but unreferenced")
+        if self.compressor.dedup:
+            self.hashtable.check_invariants()
+            contents: dict[bytes, int] = {}
+            for block_no in observed:
+                content = self.device.read_block(block_no)
+                if content in contents:
+                    raise AssertionError(
+                        f"blocks {contents[content]} and {block_no} share content"
+                    )
+                contents[content] = block_no
+                if self.hashtable.find_duplicate(content) != block_no:
+                    raise AssertionError(f"block {block_no} not resolvable via hashtable")

@@ -1,0 +1,179 @@
+"""On-device persistence: superblock and chained metadata log.
+
+The paper persists ``blockRefCount`` in a disk partition so compressed
+data survives a remount (Section 4.2); the file-system metadata itself
+(inodes) is persisted by the host file system.  This module completes
+the picture for the standalone engine so a whole CompressDB instance
+can be remounted from a :class:`~repro.storage.block_device.FileBlockDevice`
+in a different process:
+
+* **block 0** is the superblock — magic, version, and the head of the
+  metadata chain;
+* the **metadata chain** is a linked list of blocks carrying one byte
+  stream: the refcount-partition block list plus the serialised inode
+  table (paths, slot lists, hole boundaries);
+* the device **free list** is not stored — it is reconstructed on
+  mount from the set of referenced blocks.
+
+The volatile ``blockHashTable`` is rebuilt by scanning unique blocks,
+exactly as after the paper's remount.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.inode import Inode, Slot
+
+_MAGIC = 0x434F4D5052444200  # "COMPRDB\0"
+_VERSION = 1
+_SUPERBLOCK = struct.Struct("<QIQ")  # magic, version, meta chain head
+_CHAIN_HEADER = struct.Struct("<QI")  # next block (NO_BLOCK = end), payload bytes
+NO_BLOCK = 0xFFFFFFFFFFFFFFFF
+
+SUPERBLOCK_NO = 0
+
+
+class PersistenceError(Exception):
+    """The device does not carry a valid CompressDB image."""
+
+
+# -- varints (local to keep the storage layer self-contained) -----------------
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+# -- metadata chain ------------------------------------------------------------
+
+def write_chain(device: BlockDevice, payload: bytes) -> int:
+    """Write a byte stream across chained blocks; returns the head."""
+    chunk_size = device.block_size - _CHAIN_HEADER.size
+    if chunk_size <= 0:
+        raise PersistenceError("block size too small for a metadata chain")
+    chunks = [payload[i : i + chunk_size] for i in range(0, len(payload), chunk_size)]
+    if not chunks:
+        chunks = [b""]
+    blocks = [device.allocate() for __ in chunks]
+    for index, chunk in enumerate(chunks):
+        next_block = blocks[index + 1] if index + 1 < len(blocks) else NO_BLOCK
+        device.write_block(blocks[index], _CHAIN_HEADER.pack(next_block, len(chunk)) + chunk)
+    return blocks[0]
+
+
+def read_chain(device: BlockDevice, head: int) -> tuple[bytes, list[int]]:
+    """Read a chained byte stream; returns (payload, chain block list)."""
+    parts: list[bytes] = []
+    blocks: list[int] = []
+    current = head
+    while current != NO_BLOCK:
+        blocks.append(current)
+        raw = device.read_block(current)
+        next_block, length = _CHAIN_HEADER.unpack_from(raw, 0)
+        parts.append(raw[_CHAIN_HEADER.size : _CHAIN_HEADER.size + length])
+        current = next_block
+        if len(blocks) > device.total_blocks:
+            raise PersistenceError("metadata chain cycle detected")
+    return b"".join(parts), blocks
+
+
+# -- image serialisation ----------------------------------------------------------
+
+def serialize_metadata(
+    inodes: dict[str, Inode], partition_blocks: list[int]
+) -> bytes:
+    """Pack the namespace, slot tables, and refcount-partition pointers."""
+    out = bytearray()
+    _write_varint(out, len(partition_blocks))
+    for block_no in partition_blocks:
+        _write_varint(out, block_no)
+    _write_varint(out, len(inodes))
+    for path in sorted(inodes):
+        raw_path = path.encode("utf-8")
+        _write_varint(out, len(raw_path))
+        out += raw_path
+        inode = inodes[path]
+        _write_varint(out, inode.num_slots)
+        for slot in inode.iter_slots():
+            _write_varint(out, slot.block_no)
+            _write_varint(out, slot.used)
+    return bytes(out)
+
+
+def deserialize_metadata(
+    payload: bytes,
+    block_size: int,
+    page_capacity: int,
+    device: BlockDevice,
+) -> tuple[dict[str, Inode], list[int]]:
+    """Invert :func:`serialize_metadata`."""
+    offset = 0
+    count, offset = _read_varint(payload, offset)
+    partition_blocks = []
+    for __ in range(count):
+        block_no, offset = _read_varint(payload, offset)
+        partition_blocks.append(block_no)
+    file_count, offset = _read_varint(payload, offset)
+    inodes: dict[str, Inode] = {}
+    for __ in range(file_count):
+        path_len, offset = _read_varint(payload, offset)
+        path = payload[offset : offset + path_len].decode("utf-8")
+        offset += path_len
+        slot_count, offset = _read_varint(payload, offset)
+        inode = Inode(block_size=block_size, page_capacity=page_capacity, device=device)
+        for __slot in range(slot_count):
+            block_no, offset = _read_varint(payload, offset)
+            used, offset = _read_varint(payload, offset)
+            inode.append_slot(Slot(block_no=block_no, used=used))
+        inodes[path] = inode
+    return inodes, partition_blocks
+
+
+# -- superblock ------------------------------------------------------------------------
+
+def format_device(device: BlockDevice) -> None:
+    """Initialise a fresh device: claim block 0 as the superblock."""
+    block_no = device.allocate()
+    if block_no != SUPERBLOCK_NO:
+        raise PersistenceError(
+            f"superblock must be block 0, device handed out {block_no}"
+        )
+    device.write_block(SUPERBLOCK_NO, _SUPERBLOCK.pack(_MAGIC, _VERSION, NO_BLOCK))
+
+
+def is_formatted(device: BlockDevice) -> bool:
+    if device.total_blocks == 0:
+        return False
+    try:
+        magic, version, __ = _SUPERBLOCK.unpack_from(device.read_block(SUPERBLOCK_NO), 0)
+    except struct.error:  # pragma: no cover - blocks are fixed-size
+        return False
+    return magic == _MAGIC and version == _VERSION
+
+
+def read_superblock(device: BlockDevice) -> int:
+    """Validate the superblock; returns the metadata chain head."""
+    if not is_formatted(device):
+        raise PersistenceError("device carries no CompressDB superblock")
+    __, __, head = _SUPERBLOCK.unpack_from(device.read_block(SUPERBLOCK_NO), 0)
+    return head
+
+
+def update_superblock(device: BlockDevice, meta_head: int) -> None:
+    device.write_block(SUPERBLOCK_NO, _SUPERBLOCK.pack(_MAGIC, _VERSION, meta_head))

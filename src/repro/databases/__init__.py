@@ -1,0 +1,64 @@
+"""Database substrates: the four engines the evaluation runs on CompressDB."""
+
+from repro.databases.common import (
+    CorruptRecord,
+    Database,
+    DatabaseError,
+    decode_bytes,
+    decode_kv,
+    decode_varint,
+    encode_bytes,
+    encode_kv,
+    encode_varint,
+    frame_record,
+    read_frames,
+)
+from repro.databases.bloom import BloomFilter
+from repro.databases.minicolumn import ColumnStoreError, ColumnTable, MiniColumn
+from repro.databases.minileveldb import MiniLevelDB
+from repro.databases.minimongo import Collection, DuplicateKey, MiniMongo
+from repro.databases.minisql import (
+    MiniSQL,
+    SecondaryIndex,
+    Table,
+    TableError,
+    TableSchema,
+)
+from repro.databases.sql_executor import EvaluationError, evaluate, run_select
+from repro.databases.sql_parser import SQLSyntaxError, parse
+from repro.databases.sstable import SSTableReader, SSTableWriter, TOMBSTONE
+
+__all__ = [
+    "BloomFilter",
+    "Collection",
+    "ColumnStoreError",
+    "ColumnTable",
+    "CorruptRecord",
+    "Database",
+    "DatabaseError",
+    "DuplicateKey",
+    "EvaluationError",
+    "MiniColumn",
+    "MiniLevelDB",
+    "MiniMongo",
+    "MiniSQL",
+    "SQLSyntaxError",
+    "SecondaryIndex",
+    "SSTableReader",
+    "SSTableWriter",
+    "TOMBSTONE",
+    "Table",
+    "TableError",
+    "TableSchema",
+    "decode_bytes",
+    "decode_kv",
+    "decode_varint",
+    "encode_bytes",
+    "encode_kv",
+    "encode_varint",
+    "evaluate",
+    "frame_record",
+    "parse",
+    "read_frames",
+    "run_select",
+]

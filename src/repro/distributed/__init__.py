@@ -1,0 +1,26 @@
+"""MooseFS-like distributed layer: master, chunk servers, client."""
+
+from repro.distributed.chunkserver import ChunkServer, ServerDown
+from repro.distributed.client import ClusterClient, NoLiveReplica
+from repro.distributed.cluster import Cluster, build_cluster
+from repro.distributed.master import (
+    ChunkInfo,
+    ClusterFileExists,
+    ClusterFileNotFound,
+    FileEntry,
+    Master,
+)
+
+__all__ = [
+    "ChunkInfo",
+    "ChunkServer",
+    "Cluster",
+    "ClusterClient",
+    "ClusterFileExists",
+    "ClusterFileNotFound",
+    "FileEntry",
+    "Master",
+    "NoLiveReplica",
+    "ServerDown",
+    "build_cluster",
+]

@@ -1,0 +1,172 @@
+"""Chunk servers: the storage nodes of the MooseFS-like cluster.
+
+Each chunk server owns a block device and a file system — the baseline
+runs :class:`~repro.fs.vfs.PassthroughFS`, the CompressDB deployment
+runs :class:`~repro.fs.compressfs.CompressFS`.  Chunks are ordinary
+files in that file system, so a CompressDB-backed server dedups across
+every chunk it stores and can execute pushed-down operations locally
+(Section 4.1, "operation pushdown"): the client ships the operation,
+not the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.fs.compressfs import CompressFS
+from repro.fs.posix_ops import PosixOperations
+from repro.fs.vfs import PassthroughFS
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import CLOUD_ESSD, DeviceProfile, SimClock
+from repro.storage.stats import IOStats
+
+
+class ServerDown(Exception):
+    """The chunk server is offline (simulated node failure)."""
+
+
+class ChunkServer:
+    """One storage node holding chunks as files."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        compressed: bool = True,
+        block_size: int = 1024,
+        profile: DeviceProfile = CLOUD_ESSD,
+        stats: Optional[IOStats] = None,
+        cache_blocks: int = 128,
+    ) -> None:
+        self.name = name
+        self.compressed = compressed
+        device = MemoryBlockDevice(
+            block_size=block_size,
+            profile=profile,
+            clock=clock,
+            stats=stats,
+            cache_blocks=cache_blocks,
+        )
+        self.fs: Union[CompressFS, PassthroughFS]
+        if compressed:
+            self.fs = CompressFS(device=device)
+        else:
+            self.fs = PassthroughFS(device=device)
+        self._posix_ops = PosixOperations(self.fs)
+        self.online = True
+
+    def fail(self) -> None:
+        """Simulate a node failure: every request raises ServerDown."""
+        self.online = False
+
+    def recover(self) -> None:
+        """Bring the node back (its data survived the outage)."""
+        self.online = True
+
+    def _path(self, chunk_id: str) -> str:
+        self._ensure_online()
+        return f"/chunks/{chunk_id}"
+
+    def _ensure_online(self) -> None:
+        if not self.online:
+            raise ServerDown(self.name)
+
+    # -- chunk lifecycle -----------------------------------------------------
+    def create_chunk(self, chunk_id: str) -> None:
+        self.fs.write_file(self._path(chunk_id), b"")
+
+    def delete_chunk(self, chunk_id: str) -> None:
+        self.fs.unlink(self._path(chunk_id))
+
+    def chunk_length(self, chunk_id: str) -> int:
+        return self.fs.stat(self._path(chunk_id)).size
+
+    def chunk_ids(self) -> list[str]:
+        prefix = "/chunks/"
+        return [path[len(prefix):] for path in self.fs.listdir(prefix)]
+
+    # -- data plane --------------------------------------------------------------
+    def read(self, chunk_id: str, offset: int, size: int) -> bytes:
+        return self.fs._pread(self._path(chunk_id), offset, size)
+
+    def write(self, chunk_id: str, offset: int, data: bytes) -> int:
+        return self.fs._pwrite(self._path(chunk_id), offset, data)
+
+    def truncate(self, chunk_id: str, size: int) -> None:
+        self.fs.truncate(self._path(chunk_id), size)
+
+    # -- pushed-down operations -----------------------------------------------------
+    # On a CompressDB server these run against the compressed form; on a
+    # baseline server they fall back to POSIX emulation (read + rewrite)
+    # so the cluster still *works* without CompressDB — it just pays for it.
+    def insert(self, chunk_id: str, offset: int, data: bytes) -> None:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            self.fs.ops.insert(path, offset, data)
+        else:
+            self._posix_ops.insert(path, offset, data)
+
+    def delete_range(self, chunk_id: str, offset: int, length: int) -> None:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            self.fs.ops.delete(path, offset, length)
+        else:
+            self._posix_ops.delete(path, offset, length)
+
+    def search(self, chunk_id: str, pattern: bytes) -> list[int]:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            return self.fs.ops.search(path, pattern)
+        return self._posix_ops.search(path, pattern)
+
+    def search_with_edges(
+        self, chunk_id: str, pattern: bytes
+    ) -> tuple[list[int], bytes, bytes]:
+        """Search one chunk and piggyback its edge bytes.
+
+        Returns (local offsets, first ``len(pattern)-1`` bytes, last
+        ``len(pattern)-1`` bytes) so the client can resolve cross-chunk
+        occurrences without issuing extra read RPCs — one round trip
+        per chunk total.
+        """
+        offsets = self.search(chunk_id, pattern)
+        edge = max(0, len(pattern) - 1)
+        path = self._path(chunk_id)
+        length = self.fs.stat(path).size
+        head = self.fs._pread(path, 0, min(edge, length))
+        tail_start = max(0, length - edge)
+        tail = self.fs._pread(path, tail_start, length - tail_start)
+        return offsets, head, tail
+
+    def count(self, chunk_id: str, pattern: bytes) -> int:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            return self.fs.ops.count(path, pattern)
+        return self._posix_ops.count(path, pattern)
+
+    def append(self, chunk_id: str, data: bytes) -> None:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            self.fs.ops.append(path, data)
+        else:
+            self.fs.append_file(path, data)
+
+    def replace(self, chunk_id: str, offset: int, data: bytes) -> None:
+        path = self._path(chunk_id)
+        if self.compressed:
+            assert isinstance(self.fs, CompressFS)
+            self.fs.ops.replace(path, offset, data)
+        else:
+            self.fs._pwrite(path, offset, data)
+
+    # -- accounting --------------------------------------------------------------------
+    def logical_bytes(self) -> int:
+        return self.fs.logical_bytes()
+
+    def physical_bytes(self) -> int:
+        return self.fs.physical_bytes()

@@ -1,0 +1,330 @@
+"""Cluster client: file operations over the master and chunk servers.
+
+Every byte that moves between the client and a chunk server is charged
+to the shared :class:`~repro.storage.simclock.SimClock` via the network
+profile, on top of whatever device time the server's file system
+accrues.  This is where operation pushdown pays off in the distributed
+setting (Figures 10/11): with pushdown the client ships the *operation*
+(request + small payload + small result); without it, `insert`/`delete`
+drag the whole file tail across the network twice, and `search` drags
+the whole file once.
+"""
+
+from __future__ import annotations
+
+from repro.core.kmp import iter_matches
+from repro.distributed.chunkserver import ChunkServer
+from repro.distributed.master import Master
+from repro.storage.simclock import DATACENTER_LAN, NetworkProfile, SimClock
+
+#: Size of an operation request/response envelope on the wire.
+_RPC_OVERHEAD = 64
+#: Bytes per offset in a search result.
+_OFFSET_BYTES = 8
+
+
+class NoLiveReplica(Exception):
+    """Every replica of a chunk is on an offline server."""
+
+
+class ClusterClient:
+    """The application-facing API of the cluster."""
+
+    def __init__(
+        self,
+        master: Master,
+        servers: dict[str, ChunkServer],
+        clock: SimClock,
+        network: NetworkProfile = DATACENTER_LAN,
+        pushdown: bool = True,
+    ) -> None:
+        self.master = master
+        self.servers = servers
+        self.clock = clock
+        self.network = network
+        self.pushdown = pushdown
+
+    # -- network accounting --------------------------------------------------
+    def _charge(self, payload_bytes: int) -> None:
+        self.clock.charge_transfer(self.network, _RPC_OVERHEAD + payload_bytes)
+
+    # -- replica handling -------------------------------------------------------
+    def _read_server(self, chunk) -> ChunkServer:
+        """The first live replica holder (reads prefer the primary)."""
+        for name in chunk.servers:
+            server = self.servers[name]
+            if server.online:
+                return server
+        raise NoLiveReplica(chunk.chunk_id)
+
+    def _write_servers(self, chunk) -> list[ChunkServer]:
+        """Every live replica holder; mutations go to all of them."""
+        live = [self.servers[name] for name in chunk.servers if self.servers[name].online]
+        if not live:
+            raise NoLiveReplica(chunk.chunk_id)
+        return live
+
+    # -- namespace -------------------------------------------------------------
+    def create(self, path: str) -> None:
+        self._charge(0)  # metadata RPC to the master
+        self.master.create(path)
+
+    def exists(self, path: str) -> bool:
+        self._charge(0)
+        return self.master.exists(path)
+
+    def file_size(self, path: str) -> int:
+        self._charge(0)
+        return self.master.file_size(path)
+
+    def unlink(self, path: str) -> None:
+        self._charge(0)
+        entry = self.master.unlink(path)
+        for chunk in entry.chunks:
+            for server in self._write_servers(chunk):
+                self._charge(0)
+                server.delete_chunk(chunk.chunk_id)
+
+    # -- read / write -------------------------------------------------------------
+    def read(self, path: str, offset: int, size: int) -> bytes:
+        entry = self.master.lookup(path)
+        if offset >= entry.size or size <= 0:
+            return b""
+        size = min(size, entry.size - offset)
+        parts = []
+        for __, chunk, start, count in self.master.chunks_in_range(path, offset, size):
+            self._charge(count)  # data crosses the network to the client
+            parts.append(self._read_server(chunk).read(chunk.chunk_id, start, count))
+        return b"".join(parts)
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        entry = self.master.lookup(path)
+        if offset > entry.size:
+            self.append(path, b"\x00" * (offset - entry.size))
+        overlap = min(len(data), self.master.file_size(path) - offset)
+        consumed = 0
+        if overlap > 0:
+            for __, chunk, start, count in self.master.chunks_in_range(path, offset, overlap):
+                piece = data[consumed : consumed + count]
+                for server in self._write_servers(chunk):
+                    self._charge(len(piece))
+                    server.replace(chunk.chunk_id, start, piece)
+                consumed += count
+        if consumed < len(data):
+            self.append(path, data[consumed:])
+        return len(data)
+
+    def append(self, path: str, data: bytes) -> None:
+        entry = self.master.lookup(path)
+        position = 0
+        while position < len(data):
+            if entry.chunks and entry.chunks[-1].length < self.master.chunk_capacity:
+                chunk = entry.chunks[-1]
+            else:
+                self._charge(0)  # allocation RPC to the master
+                chunk = self.master.allocate_chunk(path)
+                for server in self._write_servers(chunk):
+                    server.create_chunk(chunk.chunk_id)
+            room = self.master.chunk_capacity - chunk.length
+            piece = data[position : position + room]
+            for server in self._write_servers(chunk):
+                self._charge(len(piece))
+                server.append(chunk.chunk_id, piece)
+            chunk.length += len(piece)
+            position += len(piece)
+
+    def read_file(self, path: str) -> bytes:
+        return self.read(path, 0, self.master.file_size(path))
+
+    def write_file(self, path: str, data: bytes) -> None:
+        if self.master.exists(path):
+            self.unlink(path)
+        self.master.create(path)
+        self._charge(0)
+        self.append(path, data)
+
+    # -- manipulation ---------------------------------------------------------------------
+    def insert(self, path: str, offset: int, data: bytes) -> None:
+        """Insert bytes at ``offset``.
+
+        With pushdown: one RPC carrying the inserted bytes to the server
+        holding the target chunk, which splices them locally (its chunk
+        simply grows).  Without: the classic read-tail + rewrite dance,
+        all over the network.
+        """
+        if not self.pushdown:
+            self._insert_via_rewrite(path, offset, data)
+            return
+        entry = self.master.lookup(path)
+        if not entry.chunks or offset == entry.size:
+            self.append(path, data)
+            return
+        __, chunk, within = self.master.locate(path, offset)
+        for server in self._write_servers(chunk):
+            self._charge(len(data))
+            server.insert(chunk.chunk_id, within, data)
+        chunk.length += len(data)
+
+    def delete(self, path: str, offset: int, length: int) -> None:
+        """Delete a byte range; pushdown issues per-chunk local deletes."""
+        if not self.pushdown:
+            self._delete_via_rewrite(path, offset, length)
+            return
+        affected = self.master.chunks_in_range(path, offset, length)
+        emptied = []
+        for __, chunk, start, count in affected:
+            for server in self._write_servers(chunk):
+                self._charge(0)
+                server.delete_range(chunk.chunk_id, start, count)
+            chunk.length -= count
+            if chunk.length == 0:
+                emptied.append(chunk)
+        for chunk in emptied:
+            self.master.drop_chunk(path, chunk.chunk_id)
+            for server in self._write_servers(chunk):
+                self._charge(0)
+                server.delete_chunk(chunk.chunk_id)
+
+    def _insert_via_rewrite(self, path: str, offset: int, data: bytes) -> None:
+        size = self.master.file_size(path)
+        tail = self.read(path, offset, size - offset)
+        self.write(path, offset, data + tail)
+
+    def _delete_via_rewrite(self, path: str, offset: int, length: int) -> None:
+        size = self.master.file_size(path)
+        tail = self.read(path, offset + length, size - offset - length)
+        if tail:
+            self.write(path, offset, tail)
+        self._truncate(path, size - length)
+
+    def _truncate(self, path: str, size: int) -> None:
+        entry = self.master.lookup(path)
+        position = 0
+        kept: list = []
+        for chunk in entry.chunks:
+            if position >= size:
+                for server in self._write_servers(chunk):
+                    self._charge(0)
+                    server.delete_chunk(chunk.chunk_id)
+                continue
+            keep = min(chunk.length, size - position)
+            if keep < chunk.length:
+                for server in self._write_servers(chunk):
+                    self._charge(0)
+                    server.truncate(chunk.chunk_id, keep)
+                chunk.length = keep
+            position += chunk.length
+            kept.append(chunk)
+        entry.chunks = kept
+
+    # -- replica maintenance ------------------------------------------------------------------
+    def resync(self, server_name: str) -> int:
+        """Bring a recovered server's replicas up to date.
+
+        A node that was offline missed the writes applied to its
+        chunks; this copies each such chunk's authoritative bytes from
+        a live peer replica.  Returns the number of chunks repaired.
+        MooseFS does this continuously in the background; here it is an
+        explicit administrative step.
+        """
+        target = self.servers[server_name]
+        if not target.online:
+            raise ValueError(f"server {server_name} is offline; recover it first")
+        repaired = 0
+        for path in self.master.list_files():
+            for chunk in self.master.lookup(path).chunks:
+                if server_name not in chunk.servers:
+                    continue
+                peers = [
+                    self.servers[name]
+                    for name in chunk.servers
+                    if name != server_name and self.servers[name].online
+                ]
+                if not peers:
+                    continue
+                authoritative = peers[0].read(chunk.chunk_id, 0, chunk.length)
+                local_missing = chunk.chunk_id not in target.chunk_ids()
+                if local_missing:
+                    target.create_chunk(chunk.chunk_id)
+                local = target.read(chunk.chunk_id, 0, target.chunk_length(chunk.chunk_id))
+                if local != authoritative:
+                    self._charge(len(authoritative))  # replica transfer
+                    target.truncate(chunk.chunk_id, 0)
+                    target.write(chunk.chunk_id, 0, authoritative)
+                    repaired += 1
+        return repaired
+
+    # -- search / count ---------------------------------------------------------------------------
+    def search(self, path: str, pattern: bytes) -> list[int]:
+        """All occurrence offsets of ``pattern`` in the file.
+
+        Pushdown: each server scans its chunks locally (over compressed
+        data, reusing shared blocks) and returns offsets; the client
+        only fetches the tiny cross-chunk junction windows.  Baseline:
+        the client streams the entire file over the network and scans.
+        """
+        m = len(pattern)
+        if m == 0:
+            return []
+        entry = self.master.lookup(path)
+        if not self.pushdown:
+            data = self.read_file(path)
+            return list(iter_matches(data, pattern))
+        matches: set[int] = set()
+        edge = m - 1
+        position = 0
+        boundaries: list[int] = []
+        heads: list[bytes] = []
+        tails: list[bytes] = []
+        lengths: list[int] = []
+        for chunk in entry.chunks:
+            # One round trip per chunk: the request carries the pattern,
+            # the response the offsets plus the chunk's edge bytes.
+            local, head, tail = self._read_server(chunk).search_with_edges(
+                chunk.chunk_id, pattern
+            )
+            self._charge(
+                len(pattern) + len(local) * _OFFSET_BYTES + len(head) + len(tail)
+            )
+            matches.update(position + offset for offset in local)
+            heads.append(head)
+            tails.append(tail)
+            lengths.append(chunk.length)
+            position += chunk.length
+            boundaries.append(position)
+        # Cross-chunk windows assembled from the piggybacked edges —
+        # no further network traffic.
+        for index, boundary in enumerate(boundaries[:-1]):
+            left = b""
+            k = index
+            while len(left) < edge and k >= 0:
+                piece = tails[k]
+                left = piece[max(0, len(piece) - (edge - len(left))) :] + left
+                if len(piece) < lengths[k]:
+                    break  # the tail did not cover the whole chunk
+                k -= 1
+            right = bytearray()
+            k = index + 1
+            while len(right) < edge and k < len(heads):
+                right += heads[k]
+                if len(heads[k]) < lengths[k]:
+                    break
+                k += 1
+            window = left + bytes(right[:edge])
+            if len(window) < m:
+                continue
+            window_start = boundary - len(left)
+            for local in iter_matches(window, pattern):
+                absolute = window_start + local
+                if absolute < boundary < absolute + m:
+                    matches.add(absolute)
+        return sorted(matches)
+
+    def count(self, path: str, pattern: bytes) -> int:
+        return len(self.search(path, pattern))
+
+    def extract(self, path: str, offset: int, size: int) -> bytes:
+        return self.read(path, offset, size)
+
+    def replace(self, path: str, offset: int, data: bytes) -> None:
+        self.write(path, offset, data)

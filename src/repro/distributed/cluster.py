@@ -1,0 +1,79 @@
+"""Cluster assembly: the paper's five-node MooseFS deployment in a box.
+
+:func:`build_cluster` wires a metadata master, N chunk servers (each
+with its own simulated ESSD), and a client, all sharing one simulated
+clock — mirroring the evaluation platform of Section 6.1 (five cloud
+nodes, 50k-IOPS ESSDs, datacenter LAN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.chunkserver import ChunkServer
+from repro.distributed.client import ClusterClient
+from repro.distributed.master import Master
+from repro.storage.simclock import CLOUD_ESSD, DATACENTER_LAN, DeviceProfile, NetworkProfile, SimClock
+from repro.storage.stats import StatsRegistry
+
+
+@dataclass
+class Cluster:
+    """A running cluster: master, servers, client, clock, stats."""
+
+    master: Master
+    servers: dict[str, ChunkServer]
+    client: ClusterClient
+    clock: SimClock
+    stats: StatsRegistry
+
+    def logical_bytes(self) -> int:
+        return sum(server.logical_bytes() for server in self.servers.values())
+
+    def physical_bytes(self) -> int:
+        return sum(server.physical_bytes() for server in self.servers.values())
+
+    def compression_ratio(self) -> float:
+        physical = self.physical_bytes()
+        if physical == 0:
+            return 1.0
+        return self.logical_bytes() / physical
+
+
+def build_cluster(
+    nodes: int = 5,
+    compressed: bool = True,
+    pushdown: bool = True,
+    block_size: int = 1024,
+    chunk_capacity: int = 64 * 1024,
+    device_profile: DeviceProfile = CLOUD_ESSD,
+    network: NetworkProfile = DATACENTER_LAN,
+    replication: int = 1,
+) -> Cluster:
+    """Build a cluster in the paper's configuration.
+
+    ``compressed=False, pushdown=False`` is the MooseFS baseline;
+    ``compressed=True, pushdown=True`` is CompressDB on MooseFS.
+    ``replication`` is the MooseFS "goal": how many servers hold each
+    chunk (reads fail over to surviving replicas).
+    """
+    if nodes < 1:
+        raise ValueError("a cluster needs at least one node")
+    clock = SimClock()
+    stats = StatsRegistry()
+    servers: dict[str, ChunkServer] = {}
+    for index in range(nodes):
+        name = f"node{index}"
+        servers[name] = ChunkServer(
+            name,
+            clock=clock,
+            compressed=compressed,
+            block_size=block_size,
+            profile=device_profile,
+            stats=stats.register(name),
+        )
+    master = Master(list(servers), chunk_capacity=chunk_capacity, replication=replication)
+    client = ClusterClient(
+        master, servers, clock=clock, network=network, pushdown=pushdown
+    )
+    return Cluster(master=master, servers=servers, client=client, clock=clock, stats=stats)

@@ -1,0 +1,177 @@
+"""The metadata master of the MooseFS-like cluster.
+
+Keeps the file → chunk map (chunk id, owning server, logical length)
+and allocates new chunks round-robin across the servers.  Like the
+MooseFS master, it handles *only* metadata — all data bytes flow
+between clients and chunk servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ClusterFileNotFound(Exception):
+    """No such file in the cluster namespace."""
+
+
+class ClusterFileExists(Exception):
+    """A file with this path already exists."""
+
+
+@dataclass
+class ChunkInfo:
+    """One chunk of a file: identity, placement(s), and logical length.
+
+    ``servers`` lists every replica holder (MooseFS "goal"); the first
+    entry is the preferred replica for reads.
+    """
+
+    chunk_id: str
+    servers: list[str]
+    length: int
+
+    @property
+    def server(self) -> str:
+        """The primary replica (backward-compatible accessor)."""
+        return self.servers[0]
+
+
+@dataclass
+class FileEntry:
+    """Metadata of one cluster file."""
+
+    path: str
+    chunks: list[ChunkInfo] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(chunk.length for chunk in self.chunks)
+
+
+class Master:
+    """Metadata-only coordinator."""
+
+    def __init__(
+        self,
+        server_names: list[str],
+        chunk_capacity: int = 64 * 1024,
+        replication: int = 1,
+    ) -> None:
+        if not server_names:
+            raise ValueError("a cluster needs at least one chunk server")
+        if not 1 <= replication <= len(server_names):
+            raise ValueError(
+                f"replication {replication} must be within 1..{len(server_names)}"
+            )
+        self.server_names = list(server_names)
+        self.chunk_capacity = chunk_capacity
+        self.replication = replication
+        self._files: dict[str, FileEntry] = {}
+        self._next_chunk = 0
+        self._next_server = 0
+
+    # -- namespace ---------------------------------------------------------
+    def create(self, path: str) -> FileEntry:
+        if path in self._files:
+            raise ClusterFileExists(path)
+        entry = FileEntry(path=path)
+        self._files[path] = entry
+        return entry
+
+    def lookup(self, path: str) -> FileEntry:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise ClusterFileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def unlink(self, path: str) -> FileEntry:
+        entry = self.lookup(path)
+        del self._files[path]
+        return entry
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def file_size(self, path: str) -> int:
+        return self.lookup(path).size
+
+    # -- chunk allocation ------------------------------------------------------
+    def _pick_servers(self) -> list[str]:
+        """``replication`` distinct servers, rotating the starting point."""
+        count = len(self.server_names)
+        start = self._next_server % count
+        self._next_server += 1
+        return [self.server_names[(start + i) % count] for i in range(self.replication)]
+
+    def allocate_chunk(self, path: str, server: Optional[str] = None) -> ChunkInfo:
+        """Append a fresh chunk to the file, placed round-robin by default."""
+        entry = self.lookup(path)
+        servers = [server] if server is not None else self._pick_servers()
+        chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=servers, length=0)
+        self._next_chunk += 1
+        entry.chunks.append(chunk)
+        return chunk
+
+    def insert_chunk_after(self, path: str, index: int, server: str) -> ChunkInfo:
+        """Splice a fresh chunk after position ``index`` (for big inserts)."""
+        entry = self.lookup(path)
+        chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=[server], length=0)
+        self._next_chunk += 1
+        entry.chunks.insert(index + 1, chunk)
+        return chunk
+
+    def drop_chunk(self, path: str, chunk_id: str) -> ChunkInfo:
+        entry = self.lookup(path)
+        for index, chunk in enumerate(entry.chunks):
+            if chunk.chunk_id == chunk_id:
+                return entry.chunks.pop(index)
+        raise ClusterFileNotFound(f"{path}:{chunk_id}")
+
+    # -- addressing ------------------------------------------------------------------
+    def locate(self, path: str, offset: int) -> tuple[int, ChunkInfo, int]:
+        """Map a file offset to (chunk index, chunk, offset inside chunk)."""
+        entry = self.lookup(path)
+        if offset < 0 or offset > entry.size:
+            raise ValueError(f"offset {offset} outside file of {entry.size} bytes")
+        position = 0
+        for index, chunk in enumerate(entry.chunks):
+            if offset < position + chunk.length:
+                return index, chunk, offset - position
+            position += chunk.length
+        # offset == size: address the end of the last chunk (or none).
+        if entry.chunks:
+            last = len(entry.chunks) - 1
+            return last, entry.chunks[last], entry.chunks[last].length
+        raise ValueError(f"file {path} has no chunks")
+
+    def chunks_in_range(
+        self, path: str, offset: int, length: int
+    ) -> list[tuple[int, ChunkInfo, int, int]]:
+        """Chunks overlapping [offset, offset+length):
+        (index, chunk, start inside chunk, bytes within this chunk)."""
+        entry = self.lookup(path)
+        result = []
+        position = 0
+        end = offset + length
+        for index, chunk in enumerate(entry.chunks):
+            chunk_end = position + chunk.length
+            if chunk_end > offset and position < end:
+                start_in_chunk = max(0, offset - position)
+                stop_in_chunk = min(chunk.length, end - position)
+                result.append((index, chunk, start_in_chunk, stop_in_chunk - start_in_chunk))
+            position = chunk_end
+            if position >= end:
+                break
+        return result
+
+    # -- statistics ------------------------------------------------------------------------
+    def total_logical_bytes(self) -> int:
+        return sum(entry.size for entry in self._files.values())
+
+    def chunk_count(self) -> int:
+        return sum(len(entry.chunks) for entry in self._files.values())

@@ -1,0 +1,52 @@
+"""File-system layer: VFS interface, baseline FS, and CompressFS."""
+
+from repro.fs.compressfs import CompressFS
+from repro.fs.errors import (
+    BadFileDescriptor,
+    FSError,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsBusy,
+    PermissionDenied,
+)
+from repro.fs.fd import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.fs.posix_ops import PosixOperations, PushdownOperations
+from repro.fs.vfs import FileStat, FileSystem, PassthroughFS
+
+__all__ = [
+    "BadFileDescriptor",
+    "CompressFS",
+    "FSError",
+    "FileExists",
+    "FileNotFound",
+    "FileStat",
+    "FileSystem",
+    "InvalidArgument",
+    "IsBusy",
+    "O_APPEND",
+    "O_CREAT",
+    "O_EXCL",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "PassthroughFS",
+    "PermissionDenied",
+    "PosixOperations",
+    "PushdownOperations",
+    "SEEK_CUR",
+    "SEEK_END",
+    "SEEK_SET",
+]

@@ -1,0 +1,106 @@
+"""CompressFS: the CompressDB engine exposed through the VFS interface.
+
+This is the integration of Section 4.1/5: databases "set the system
+directory" to a CompressDB mount and their ``read``/``write`` system
+calls are handled by the engine, gaining compressed-data direct
+processing transparently.  The extra non-POSIX operations are available
+through :attr:`CompressFS.ops` (in-process) or the unix-socket API of
+:mod:`repro.core.api`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import CompressDB, FileExistsInEngine, FileNotFoundInEngine
+from repro.core.operations import OperationModule
+from repro.fs.errors import FileExists, FileNotFound, InvalidArgument
+from repro.fs.vfs import FileSystem
+from repro.storage.block_device import BlockDevice
+
+
+class CompressFS(FileSystem):
+    """A file system whose storage engine is CompressDB."""
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        block_size: int = 1024,
+        engine: Optional[CompressDB] = None,
+        **engine_kwargs,
+    ) -> None:
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = CompressDB(device=device, block_size=block_size, **engine_kwargs)
+        super().__init__(device=self.engine.device)
+
+    @property
+    def ops(self) -> OperationModule:
+        """The pushed-down operation module (insert/delete/search/...)."""
+        return self.engine.ops
+
+    # -- primitives -----------------------------------------------------------
+    def _create(self, path: str) -> None:
+        try:
+            self.engine.create(path)
+        except FileExistsInEngine:
+            raise FileExists(path) from None
+
+    def _unlink(self, path: str) -> None:
+        try:
+            self.engine.unlink(path)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def _exists(self, path: str) -> bool:
+        return self.engine.exists(path)
+
+    def _size(self, path: str) -> int:
+        try:
+            return self.engine.file_size(path)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def _list(self) -> list[str]:
+        return self.engine.list_files()
+
+    def _pread(self, path: str, offset: int, size: int) -> bytes:
+        if offset < 0 or size < 0:
+            raise InvalidArgument("offset and size must be non-negative")
+        try:
+            return self.engine.read(path, offset, size)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def _pwrite(self, path: str, offset: int, data: bytes) -> int:
+        if offset < 0:
+            raise InvalidArgument("offset must be non-negative")
+        try:
+            return self.engine.write(path, offset, data)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def _truncate(self, path: str, size: int) -> None:
+        if size < 0:
+            raise InvalidArgument("size must be non-negative")
+        try:
+            self.engine.truncate(path, size)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def rename(self, old: str, new: str) -> None:
+        """Metadata-only rename (no data copy, unlike the baseline)."""
+        try:
+            self.engine.rename(old, new)
+        except FileNotFoundInEngine:
+            raise FileNotFound(old) from None
+        except FileExistsInEngine:
+            raise FileExists(new) from None
+
+    # -- accounting ---------------------------------------------------------------
+    def physical_bytes(self) -> int:
+        return self.engine.physical_bytes()
+
+    def compression_ratio(self) -> float:
+        return self.engine.compression_ratio()

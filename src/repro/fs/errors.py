@@ -1,0 +1,50 @@
+"""Errno-style exception hierarchy for the file-system layer."""
+
+from __future__ import annotations
+
+import errno
+
+
+class FSError(Exception):
+    """Base class: carries an errno like a real FUSE implementation."""
+
+    errno_code = errno.EIO
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or self.__class__.__doc__)
+
+
+class FileNotFound(FSError):
+    """No such file or directory (ENOENT)."""
+
+    errno_code = errno.ENOENT
+
+
+class FileExists(FSError):
+    """File exists (EEXIST)."""
+
+    errno_code = errno.EEXIST
+
+
+class BadFileDescriptor(FSError):
+    """Bad file descriptor (EBADF)."""
+
+    errno_code = errno.EBADF
+
+
+class InvalidArgument(FSError):
+    """Invalid argument (EINVAL)."""
+
+    errno_code = errno.EINVAL
+
+
+class PermissionDenied(FSError):
+    """Operation not permitted on this descriptor (EPERM)."""
+
+    errno_code = errno.EPERM
+
+
+class IsBusy(FSError):
+    """Resource busy: file still has open descriptors (EBUSY)."""
+
+    errno_code = errno.EBUSY

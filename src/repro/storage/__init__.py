@@ -1,0 +1,41 @@
+"""Block-storage substrate: devices, inodes, cost model, and stats."""
+
+from repro.storage.block_device import (
+    BlockDevice,
+    BlockDeviceError,
+    FileBlockDevice,
+    MemoryBlockDevice,
+)
+from repro.storage.inode import Inode, InodeError, PointerPage, Slot
+from repro.storage.simclock import (
+    CLOUD_ESSD,
+    DATACENTER_LAN,
+    HDD_5400RPM,
+    RAM_DISK,
+    DeviceProfile,
+    NetworkProfile,
+    SimClock,
+    Stopwatch,
+)
+from repro.storage.stats import IOStats, StatsRegistry
+
+__all__ = [
+    "BlockDevice",
+    "BlockDeviceError",
+    "CLOUD_ESSD",
+    "DATACENTER_LAN",
+    "DeviceProfile",
+    "FileBlockDevice",
+    "HDD_5400RPM",
+    "IOStats",
+    "Inode",
+    "InodeError",
+    "MemoryBlockDevice",
+    "NetworkProfile",
+    "PointerPage",
+    "RAM_DISK",
+    "SimClock",
+    "Slot",
+    "StatsRegistry",
+    "Stopwatch",
+]

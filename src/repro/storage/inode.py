@@ -1,0 +1,317 @@
+"""Inodes with a bounded-depth pointer tree and hole-aware slots.
+
+This is the *rule level* and *DAG level* of the paper's design
+(Section 3): except for the leaves, the nodes are organised as a tree
+in which every node has exactly one parent, and only leaves hold data
+blocks.  Concretely an :class:`Inode` points at a flat sequence of
+:class:`PointerPage` nodes (the "indirect rules"), each of which holds
+up to ``page_capacity`` :class:`Slot` entries referencing data blocks
+(the leaves).  The depth of this organisation is therefore a constant
+2, which is what turns TADOC's O(n^d) recursive rule split into the
+paper's O(d) parent update.
+
+The *element level* novelty — data holes — lives in the slots: a slot
+stores how many bytes at the front of its block are valid (``used``);
+the remainder of the block is a hole created by an unaligned insert or
+delete (Section 4.4).  The logical byte stream of a file is the
+concatenation of ``block[:used]`` over its slots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.storage.block_device import BlockDevice
+
+
+class InodeError(Exception):
+    """Raised on out-of-range slot or offset accesses."""
+
+
+@dataclass
+class Slot:
+    """One leaf pointer: a data block and how many of its bytes are valid."""
+
+    block_no: int
+    used: int
+
+    def hole_size(self, block_size: int) -> int:
+        """Bytes of hole at the end of this block."""
+        return block_size - self.used
+
+
+class PointerPage:
+    """An indirect node holding up to ``capacity`` leaf pointers."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Optional[list[Slot]] = None) -> None:
+        self.entries: list[Slot] = entries if entries is not None else []
+
+    @property
+    def byte_count(self) -> int:
+        return sum(slot.used for slot in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Inode:
+    """File metadata: size, pointer pages, and hole accounting.
+
+    The inode maintains lazy prefix-sum indexes over its pages so that
+    ``locate(offset)`` is a binary search over pages plus a bounded
+    linear scan within one page.  Structural changes (slot insertion or
+    removal, ``used`` updates) invalidate the index.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        page_capacity: int = 256,
+        device: Optional[BlockDevice] = None,
+    ) -> None:
+        if page_capacity < 2:
+            raise ValueError("page_capacity must be at least 2")
+        self.block_size = block_size
+        self.page_capacity = page_capacity
+        self._device = device
+        self._pages: list[PointerPage] = []
+        self._size = 0
+        self._hole_bytes = 0
+        self._hole_slots = 0
+        self._cum_bytes: list[int] = []
+        self._cum_slots: list[int] = []
+        self._index_dirty = True
+
+    # -- basic properties ----------------------------------------------
+    @property
+    def size(self) -> int:
+        """Logical file size in bytes (holes excluded)."""
+        return self._size
+
+    @property
+    def num_slots(self) -> int:
+        return sum(len(page) for page in self._pages)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the pointer organisation: constant, per the paper."""
+        return 2 if self._pages else 1
+
+    @property
+    def hole_bytes(self) -> int:
+        """Total bytes of holes across all slots (blockHole payload)."""
+        return self._hole_bytes
+
+    @property
+    def hole_slots(self) -> int:
+        """Number of slots that currently carry a hole."""
+        return self._hole_slots
+
+    # -- index maintenance ----------------------------------------------
+    def _rebuild_index(self) -> None:
+        self._cum_bytes = []
+        self._cum_slots = []
+        bytes_total = 0
+        slots_total = 0
+        for page in self._pages:
+            bytes_total += page.byte_count
+            slots_total += len(page)
+            self._cum_bytes.append(bytes_total)
+            self._cum_slots.append(slots_total)
+        self._index_dirty = False
+
+    def _ensure_index(self) -> None:
+        if self._index_dirty:
+            self._rebuild_index()
+
+    def _charge_metadata(self, write: bool) -> None:
+        # Only mutations are charged: pointer pages are small and hot,
+        # so read paths serve them from memory (like a cached inode),
+        # while updates must eventually reach the device.
+        if self._device is not None and write:
+            self._device.charge_metadata_access(write=True)
+
+    # -- slot addressing --------------------------------------------------
+    def _page_for_slot(self, index: int) -> tuple[int, int]:
+        """Map a global slot index to (page index, index within page)."""
+        if index < 0:
+            raise InodeError(f"negative slot index {index}")
+        self._ensure_index()
+        page_i = bisect.bisect_right(self._cum_slots, index)
+        if page_i >= len(self._pages):
+            raise InodeError(f"slot {index} out of range ({self.num_slots} slots)")
+        prev = self._cum_slots[page_i - 1] if page_i > 0 else 0
+        return page_i, index - prev
+
+    def slot_at(self, index: int) -> Slot:
+        page_i, entry_i = self._page_for_slot(index)
+        self._charge_metadata(write=False)
+        return self._pages[page_i].entries[entry_i]
+
+    def iter_slots(self, start: int = 0) -> Iterator[Slot]:
+        """Iterate slots from global index ``start`` onward."""
+        if self.num_slots == 0 or start >= self.num_slots:
+            return
+        page_i, entry_i = self._page_for_slot(start)
+        self._charge_metadata(write=False)
+        for pi in range(page_i, len(self._pages)):
+            entries = self._pages[pi].entries
+            first = entry_i if pi == page_i else 0
+            for slot in entries[first:]:
+                yield slot
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """Map a logical byte offset to ``(slot index, offset in slot)``.
+
+        ``offset == size`` maps to ``(num_slots, 0)`` so that append
+        positions are addressable; larger offsets raise.
+        """
+        if offset < 0 or offset > self._size:
+            raise InodeError(f"offset {offset} out of range [0, {self._size}]")
+        if offset == self._size:
+            return self.num_slots, 0
+        self._ensure_index()
+        page_i = bisect.bisect_right(self._cum_bytes, offset)
+        prev_bytes = self._cum_bytes[page_i - 1] if page_i > 0 else 0
+        prev_slots = self._cum_slots[page_i - 1] if page_i > 0 else 0
+        within = offset - prev_bytes
+        self._charge_metadata(write=False)
+        for entry_i, slot in enumerate(self._pages[page_i].entries):
+            if within < slot.used:
+                return prev_slots + entry_i, within
+            within -= slot.used
+        # Only reachable if the page byte counts are inconsistent.
+        raise InodeError(f"offset {offset}: index out of sync")  # pragma: no cover
+
+    def offset_of_slot(self, index: int) -> int:
+        """Logical byte offset at which slot ``index`` begins."""
+        if index == self.num_slots:
+            return self._size
+        page_i, entry_i = self._page_for_slot(index)
+        self._ensure_index()
+        offset = self._cum_bytes[page_i - 1] if page_i > 0 else 0
+        for slot in self._pages[page_i].entries[:entry_i]:
+            offset += slot.used
+        return offset
+
+    # -- mutation ----------------------------------------------------------
+    def _account_add(self, slot: Slot) -> None:
+        self._size += slot.used
+        hole = slot.hole_size(self.block_size)
+        if hole > 0:
+            self._hole_bytes += hole
+            self._hole_slots += 1
+
+    def _account_remove(self, slot: Slot) -> None:
+        self._size -= slot.used
+        hole = slot.hole_size(self.block_size)
+        if hole > 0:
+            self._hole_bytes -= hole
+            self._hole_slots -= 1
+
+    def insert_slot(self, index: int, slot: Slot) -> None:
+        """Insert a leaf pointer before global slot ``index``."""
+        if not 0 <= slot.used <= self.block_size:
+            raise InodeError(f"slot used {slot.used} out of range")
+        if index == self.num_slots:
+            if not self._pages or len(self._pages[-1]) >= self.page_capacity:
+                self._pages.append(PointerPage())
+            self._pages[-1].entries.append(slot)
+        else:
+            page_i, entry_i = self._page_for_slot(index)
+            page = self._pages[page_i]
+            page.entries.insert(entry_i, slot)
+            if len(page) > self.page_capacity:
+                self._split_page(page_i)
+        self._account_add(slot)
+        self._index_dirty = True
+        self._charge_metadata(write=True)
+
+    def append_slot(self, slot: Slot) -> None:
+        self.insert_slot(self.num_slots, slot)
+
+    def remove_slot(self, index: int) -> Slot:
+        """Remove and return the leaf pointer at global slot ``index``."""
+        page_i, entry_i = self._page_for_slot(index)
+        page = self._pages[page_i]
+        slot = page.entries.pop(entry_i)
+        if not page.entries:
+            self._pages.pop(page_i)
+        self._account_remove(slot)
+        self._index_dirty = True
+        self._charge_metadata(write=True)
+        return slot
+
+    def replace_slot(self, index: int, slot: Slot) -> Slot:
+        """Swap the leaf pointer at ``index`` for ``slot``; return the old one."""
+        if not 0 <= slot.used <= self.block_size:
+            raise InodeError(f"slot used {slot.used} out of range")
+        page_i, entry_i = self._page_for_slot(index)
+        old = self._pages[page_i].entries[entry_i]
+        self._pages[page_i].entries[entry_i] = slot
+        self._account_remove(old)
+        self._account_add(slot)
+        self._index_dirty = True
+        self._charge_metadata(write=True)
+        return old
+
+    def set_used(self, index: int, used: int) -> None:
+        """Change the valid-byte count of slot ``index`` (hole resize)."""
+        if not 0 <= used <= self.block_size:
+            raise InodeError(f"used {used} out of range")
+        page_i, entry_i = self._page_for_slot(index)
+        slot = self._pages[page_i].entries[entry_i]
+        self._account_remove(slot)
+        slot.used = used
+        self._account_add(slot)
+        self._index_dirty = True
+        self._charge_metadata(write=True)
+
+    def _split_page(self, page_i: int) -> None:
+        """Split an over-full pointer page in two (depth stays constant)."""
+        page = self._pages[page_i]
+        half = len(page) // 2
+        right = PointerPage(page.entries[half:])
+        page.entries = page.entries[:half]
+        self._pages.insert(page_i + 1, right)
+        self._charge_metadata(write=True)
+
+    # -- inspection ---------------------------------------------------------
+    def all_block_numbers(self) -> list[int]:
+        """Block numbers of every leaf, in logical order (with repeats)."""
+        return [slot.block_no for slot in self.iter_slots()]
+
+    def check_invariants(self) -> None:
+        """Verify internal accounting; used by property tests."""
+        size = 0
+        hole_bytes = 0
+        hole_slots = 0
+        for page in self._pages:
+            if not page.entries:
+                raise AssertionError("empty pointer page retained")
+            if len(page) > self.page_capacity:
+                raise AssertionError("pointer page exceeds capacity")
+            for slot in page.entries:
+                size += slot.used
+                hole = slot.hole_size(self.block_size)
+                if hole > 0:
+                    hole_bytes += hole
+                    hole_slots += 1
+        if size != self._size:
+            raise AssertionError(f"size mismatch: {size} != {self._size}")
+        if hole_bytes != self._hole_bytes:
+            raise AssertionError(
+                f"hole bytes mismatch: {hole_bytes} != {self._hole_bytes}"
+            )
+        if hole_slots != self._hole_slots:
+            raise AssertionError(
+                f"hole slot mismatch: {hole_slots} != {self._hole_slots}"
+            )

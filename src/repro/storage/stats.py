@@ -1,0 +1,129 @@
+"""I/O statistics counters shared by storage-layer components.
+
+Every block device and network link in the simulator owns an
+:class:`IOStats` instance.  Benchmarks read these counters to compute
+simulated throughput and bandwidth utilisation, and the cost model
+(:mod:`repro.storage.simclock`) converts them into simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one storage or network component."""
+
+    block_reads: int = 0
+    block_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    metadata_reads: int = 0
+    metadata_writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def record_read(self, nbytes: int) -> None:
+        self.block_reads += 1
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int) -> None:
+        self.block_writes += 1
+        self.bytes_written += nbytes
+
+    def record_metadata_read(self) -> None:
+        self.metadata_reads += 1
+
+    def record_metadata_write(self) -> None:
+        self.metadata_writes += 1
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.block_reads = 0
+        self.block_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.metadata_reads = 0
+        self.metadata_writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(
+            block_reads=self.block_reads,
+            block_writes=self.block_writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            metadata_reads=self.metadata_reads,
+            metadata_writes=self.metadata_writes,
+            allocations=self.allocations,
+            frees=self.frees,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return the difference between this snapshot and an earlier one."""
+        return IOStats(
+            block_reads=self.block_reads - earlier.block_reads,
+            block_writes=self.block_writes - earlier.block_writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            metadata_reads=self.metadata_reads - earlier.metadata_reads,
+            metadata_writes=self.metadata_writes - earlier.metadata_writes,
+            allocations=self.allocations - earlier.allocations,
+            frees=self.frees - earlier.frees,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return (
+            self.block_reads
+            + self.block_writes
+            + self.metadata_reads
+            + self.metadata_writes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class StatsRegistry:
+    """A named collection of :class:`IOStats`, one per component.
+
+    The cluster simulator registers each chunk server's device and each
+    network link here so a benchmark can fetch a consistent snapshot of
+    the whole system.
+    """
+
+    components: dict[str, IOStats] = field(default_factory=dict)
+
+    def register(self, name: str) -> IOStats:
+        if name in self.components:
+            raise ValueError(f"component {name!r} already registered")
+        stats = IOStats()
+        self.components[name] = stats
+        return stats
+
+    def get(self, name: str) -> IOStats:
+        return self.components[name]
+
+    def reset_all(self) -> None:
+        for stats in self.components.values():
+            stats.reset()
+
+    def aggregate(self) -> IOStats:
+        """Sum the counters of every registered component."""
+        total = IOStats()
+        for stats in self.components.values():
+            total.block_reads += stats.block_reads
+            total.block_writes += stats.block_writes
+            total.bytes_read += stats.bytes_read
+            total.bytes_written += stats.bytes_written
+            total.metadata_reads += stats.metadata_reads
+            total.metadata_writes += stats.metadata_writes
+            total.allocations += stats.allocations
+            total.frees += stats.frees
+        return total

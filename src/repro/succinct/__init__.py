@@ -1,0 +1,22 @@
+"""Succinct: the query-only compressed-store comparison system."""
+
+from repro.succinct.store import SuccinctStore, UnsupportedOperation
+from repro.succinct.suffix_array import (
+    build_lcp,
+    build_suffix_array,
+    count_occurrences,
+    find_occurrences,
+    longest_repeated_substring,
+    suffix_range,
+)
+
+__all__ = [
+    "SuccinctStore",
+    "UnsupportedOperation",
+    "build_lcp",
+    "build_suffix_array",
+    "count_occurrences",
+    "find_occurrences",
+    "longest_repeated_substring",
+    "suffix_range",
+]

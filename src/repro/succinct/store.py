@@ -1,0 +1,132 @@
+"""SuccinctStore: a query-only compressed data store.
+
+Stands in for Succinct in the Section 6.5 comparison.  It mirrors the
+properties the paper measures:
+
+* ``count`` is fast — a suffix-array binary search, no data traversal;
+* ``search`` returns all offsets from the same suffix range;
+* ``extract`` is comparatively slow — the text is held in compressed
+  chunks that must be decompressed per access;
+* data manipulation (insert/delete/update) is **unsupported**; the
+  whole store must be rebuilt, which is exactly the limitation
+  CompressDB removes.
+
+Like the real system it is a userspace store, so it can be layered on
+top of CompressDB by writing its serialised form into a CompressFS
+mount ("CompressDB+Succinct" in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.compression.lz import LZ4Codec
+from repro.succinct.suffix_array import (
+    build_suffix_array,
+    count_occurrences,
+    find_occurrences,
+)
+
+#: Bytes per suffix-array entry in the serialised form (int32).
+_SA_ENTRY_BYTES = 4
+
+
+class UnsupportedOperation(Exception):
+    """Raised for data-manipulation calls; Succinct is query-only."""
+
+
+class SuccinctStore:
+    """Immutable store supporting extract / count / search."""
+
+    def __init__(self, data: bytes, chunk_size: int = 4096) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._size = len(data)
+        self._chunk_size = chunk_size
+        self._codec = LZ4Codec()
+        self._chunks = [
+            self._codec.compress(data[start : start + chunk_size])
+            for start in range(0, len(data), chunk_size)
+        ]
+        self._suffix_array = build_suffix_array(data)
+        # The raw text is *not* retained; queries run on the index and
+        # the compressed chunks, as in the real system.
+        self._shadow = data  # kept private for suffix comparisons only
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Logical (uncompressed) size in bytes."""
+        return self._size
+
+    def compressed_bytes(self) -> int:
+        """Serialised footprint: compressed chunks + suffix array."""
+        chunks = sum(len(chunk) for chunk in self._chunks)
+        return chunks + len(self._suffix_array) * _SA_ENTRY_BYTES
+
+    def compression_ratio(self) -> float:
+        compressed = self.compressed_bytes()
+        if compressed == 0:
+            return 1.0
+        return self._size / compressed
+
+    # -- queries ----------------------------------------------------------
+    def extract(self, offset: int, size: int) -> bytes:
+        """Decompress the covering chunks and slice out the range."""
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        if offset >= self._size or size == 0:
+            return b""
+        size = min(size, self._size - offset)
+        first = offset // self._chunk_size
+        last = (offset + size - 1) // self._chunk_size
+        raw = b"".join(
+            self._codec.decompress(self._chunks[index])
+            for index in range(first, last + 1)
+        )
+        start = offset - first * self._chunk_size
+        return raw[start : start + size]
+
+    def count(self, pattern: bytes) -> int:
+        """Occurrences of ``pattern`` via suffix-range width (no scan)."""
+        if not pattern:
+            return 0
+        return count_occurrences(self._shadow, self._suffix_array, pattern)
+
+    def search(self, pattern: bytes) -> list[int]:
+        """Sorted offsets of every occurrence of ``pattern``."""
+        if not pattern:
+            return []
+        return find_occurrences(self._shadow, self._suffix_array, pattern)
+
+    # -- manipulation: unsupported ---------------------------------------------
+    def insert(self, offset: int, data: bytes) -> None:
+        raise UnsupportedOperation(
+            "Succinct does not support insert; rebuild the store"
+        )
+
+    def delete(self, offset: int, length: int) -> None:
+        raise UnsupportedOperation(
+            "Succinct does not support delete; rebuild the store"
+        )
+
+    def replace(self, offset: int, data: bytes) -> None:
+        raise UnsupportedOperation(
+            "Succinct does not support update; rebuild the store"
+        )
+
+    # -- serialisation (for layering on CompressDB) ------------------------------
+    def serialize(self) -> bytes:
+        """Flat byte form: what gets written into a backing store."""
+        parts = [self._size.to_bytes(8, "little"), self._chunk_size.to_bytes(4, "little")]
+        parts.append(len(self._chunks).to_bytes(4, "little"))
+        for chunk in self._chunks:
+            parts.append(len(chunk).to_bytes(4, "little"))
+            parts.append(chunk)
+        parts.extend(
+            entry.to_bytes(_SA_ENTRY_BYTES, "little") for entry in self._suffix_array
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def rebuild(cls, data: bytes, chunk_size: int = 4096) -> "SuccinctStore":
+        """The only way to change the contents: build a new store."""
+        return cls(data, chunk_size=chunk_size)

@@ -1,0 +1,148 @@
+"""Suffix array construction and pattern queries.
+
+Succinct (Agarwal et al., NSDI'15) answers ``count``/``search`` via
+suffix-structure binary search.  This module provides the substrate:
+prefix-doubling construction (O(n log n) with numpy vectorised ranking),
+Kasai's LCP algorithm, and the suffix-range binary searches the store
+uses.  A pure-Python fallback keeps tiny inputs independent of numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in this repo
+    _np = None
+
+#: Below this size the pure-Python O(n^2 log n) construction is faster
+#: than paying numpy's per-call overhead.
+_SMALL_INPUT = 64
+
+
+def _build_naive(data: bytes) -> list[int]:
+    return sorted(range(len(data)), key=lambda i: data[i:])
+
+
+def _build_doubling(data: bytes) -> list[int]:
+    assert _np is not None
+    n = len(data)
+    rank = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64)
+    order = _np.argsort(rank, kind="stable")
+    # Re-rank after the initial single-character sort.
+    sorted_rank = rank[order]
+    changed = _np.empty(n, dtype=_np.int64)
+    changed[0] = 0
+    if n > 1:
+        changed[1:] = _np.cumsum(sorted_rank[1:] != sorted_rank[:-1])
+    new_rank = _np.empty(n, dtype=_np.int64)
+    new_rank[order] = changed
+    rank = new_rank
+    k = 1
+    while rank[order[-1]] != n - 1:
+        second = _np.full(n, -1, dtype=_np.int64)
+        second[: n - k] = rank[k:]
+        order = _np.lexsort((second, rank))
+        first_sorted = rank[order]
+        second_sorted = second[order]
+        changed[0] = 0
+        changed[1:] = _np.cumsum(
+            (first_sorted[1:] != first_sorted[:-1])
+            | (second_sorted[1:] != second_sorted[:-1])
+        )
+        new_rank = _np.empty(n, dtype=_np.int64)
+        new_rank[order] = changed
+        rank = new_rank
+        k *= 2
+    return order.tolist()
+
+
+def build_suffix_array(data: bytes) -> list[int]:
+    """Indices of the suffixes of ``data`` in lexicographic order."""
+    if len(data) <= 1:
+        return list(range(len(data)))
+    if _np is None or len(data) < _SMALL_INPUT:
+        return _build_naive(data)
+    return _build_doubling(data)
+
+
+def build_lcp(data: bytes, suffix_array: Sequence[int]) -> list[int]:
+    """Kasai's algorithm: LCP of each suffix with its SA predecessor.
+
+    ``lcp[i]`` is the longest common prefix of the suffixes at
+    ``suffix_array[i-1]`` and ``suffix_array[i]``; ``lcp[0]`` is 0.
+    """
+    n = len(data)
+    if n == 0:
+        return []
+    rank = [0] * n
+    for i, suffix in enumerate(suffix_array):
+        rank[suffix] = i
+    lcp = [0] * n
+    h = 0
+    for i in range(n):
+        if rank[i] == 0:
+            h = 0
+            continue
+        j = suffix_array[rank[i] - 1]
+        while i + h < n and j + h < n and data[i + h] == data[j + h]:
+            h += 1
+        lcp[rank[i]] = h
+        if h > 0:
+            h -= 1
+    return lcp
+
+
+def suffix_range(
+    data: bytes, suffix_array: Sequence[int], pattern: bytes
+) -> tuple[int, int]:
+    """Half-open SA range ``[lo, hi)`` of suffixes starting with pattern."""
+    if not pattern:
+        return 0, len(suffix_array)
+    m = len(pattern)
+
+    lo, hi = 0, len(suffix_array)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if data[suffix_array[mid] : suffix_array[mid] + m] < pattern:
+            lo = mid + 1
+        else:
+            hi = mid
+    start = lo
+
+    lo, hi = start, len(suffix_array)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if data[suffix_array[mid] : suffix_array[mid] + m] <= pattern:
+            lo = mid + 1
+        else:
+            hi = mid
+    return start, lo
+
+
+def count_occurrences(data: bytes, suffix_array: Sequence[int], pattern: bytes) -> int:
+    """Occurrence count of ``pattern``, O(m log n)."""
+    lo, hi = suffix_range(data, suffix_array, pattern)
+    return hi - lo
+
+
+def find_occurrences(
+    data: bytes, suffix_array: Sequence[int], pattern: bytes
+) -> list[int]:
+    """Sorted occurrence offsets of ``pattern``."""
+    lo, hi = suffix_range(data, suffix_array, pattern)
+    return sorted(suffix_array[lo:hi])
+
+
+def longest_repeated_substring(data: bytes) -> bytes:
+    """Longest substring occurring at least twice (LCP maximum)."""
+    if len(data) < 2:
+        return b""
+    sa = build_suffix_array(data)
+    lcp = build_lcp(data, sa)
+    best = max(range(len(lcp)), key=lambda i: lcp[i])
+    length = lcp[best]
+    if length == 0:
+        return b""
+    return data[sa[best] : sa[best] + length]

@@ -1,0 +1,54 @@
+"""TADOC: the rule-based compression baseline CompressDB builds on."""
+
+from repro.tadoc.analytics import (
+    count_word,
+    file_word_counts,
+    inverted_index,
+    rule_usage,
+    unique_words,
+    word_count,
+)
+from repro.tadoc.dag import DagStats, compute_stats, dag_depth, topological_order
+from repro.tadoc.random_access import (
+    RandomAccessIndex,
+    extract,
+    locate_word,
+    rule2location,
+    rule_lengths,
+    word2rule,
+)
+from repro.tadoc.sequitur import (
+    Grammar,
+    RuleRef,
+    Sequitur,
+    compress,
+    compress_files,
+    split_files,
+    tokenize,
+)
+
+__all__ = [
+    "DagStats",
+    "Grammar",
+    "RandomAccessIndex",
+    "RuleRef",
+    "Sequitur",
+    "compress",
+    "compress_files",
+    "compute_stats",
+    "count_word",
+    "dag_depth",
+    "extract",
+    "file_word_counts",
+    "inverted_index",
+    "locate_word",
+    "rule2location",
+    "rule_lengths",
+    "rule_usage",
+    "split_files",
+    "tokenize",
+    "topological_order",
+    "unique_words",
+    "word2rule",
+    "word_count",
+]

@@ -1,0 +1,143 @@
+"""Data analytics directly on TADOC-compressed grammars.
+
+Section 2.1 (Figure 1c): analytics become DAG traversals with rule
+interpretation — each rule computes a local result once, and parents
+combine children's results weighted by how often they reference them.
+Word count is the canonical example; the same bottom-up scheme powers
+the per-file variants used for multi-file archives.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.tadoc.dag import topological_order
+from repro.tadoc.sequitur import Grammar, RuleRef, Token
+
+
+def _is_boundary(token: Token) -> bool:
+    return isinstance(token, tuple) and len(token) == 2 and token[0] == "spt"
+
+
+def rule_usage(grammar: Grammar) -> dict[int, int]:
+    """How many times each rule's expansion appears in the original data.
+
+    The root appears once; every other rule appears once per reference,
+    weighted by its parent's own usage.
+    """
+    usage = {rule_id: 0 for rule_id in grammar.rules}
+    usage[grammar.root] = 1
+    # Parents before children: reverse topological order.
+    for rule_id in reversed(topological_order(grammar)):
+        weight = usage[rule_id]
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                usage[element.rule_id] += weight
+    return usage
+
+
+def local_counts(grammar: Grammar) -> dict[int, Counter]:
+    """Terminal counts of each rule body (direct terminals only)."""
+    counts: dict[int, Counter] = {}
+    for rule_id, body in grammar.rules.items():
+        counter: Counter = Counter()
+        for element in body:
+            if not isinstance(element, RuleRef) and not _is_boundary(element):
+                counter[element] += 1
+        counts[rule_id] = counter
+    return counts
+
+
+def word_count(grammar: Grammar) -> Counter:
+    """Global word count without decompression (Figure 1c traversal)."""
+    usage = rule_usage(grammar)
+    total: Counter = Counter()
+    for rule_id, counter in local_counts(grammar).items():
+        weight = usage[rule_id]
+        if weight == 0:
+            continue
+        for token, count in counter.items():
+            total[token] += count * weight
+    return total
+
+
+def count_word(grammar: Grammar, word: Token) -> int:
+    """Occurrences of one word, computed bottom-up per rule."""
+    per_rule: dict[int, int] = {}
+    for rule_id in topological_order(grammar):
+        count = 0
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                count += per_rule[element.rule_id]
+            elif element == word:
+                count += 1
+        per_rule[rule_id] = count
+    return per_rule[grammar.root]
+
+
+def unique_words(grammar: Grammar) -> set:
+    """The vocabulary, without expanding the grammar."""
+    vocabulary: set = set()
+    for body in grammar.rules.values():
+        for element in body:
+            if not isinstance(element, RuleRef) and not _is_boundary(element):
+                vocabulary.add(element)
+    return vocabulary
+
+
+def inverted_index(grammar: Grammar) -> dict[Token, set[int]]:
+    """Word -> file numbers, computed without decompression.
+
+    This is TADOC's *inverted index* task (Zhang et al., VLDB'18): each
+    rule computes its word set once; the root combines children per
+    file segment (``spt`` boundaries split segments).  A rule shared by
+    many files contributes its set to each, without re-expansion.
+    """
+    word_sets: dict[int, set] = {}
+    for rule_id in topological_order(grammar):
+        words: set = set()
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                words |= word_sets[element.rule_id]
+            elif not _is_boundary(element):
+                words.add(element)
+        word_sets[rule_id] = words
+    index: dict[Token, set[int]] = {}
+    file_no = 0
+    for element in grammar.rules[grammar.root]:
+        if _is_boundary(element):
+            file_no += 1
+            continue
+        if isinstance(element, RuleRef):
+            for word in word_sets[element.rule_id]:
+                index.setdefault(word, set()).add(file_no)
+        else:
+            index.setdefault(element, set()).add(file_no)
+    return index
+
+
+def file_word_counts(grammar: Grammar) -> list[Counter]:
+    """Per-file word counts for a multi-file grammar.
+
+    File boundaries (``spt`` sentinels) are unique tokens, so they can
+    only ever appear in the root rule; each root segment between
+    boundaries is counted using the rules' precomputed total counters.
+    """
+    totals: dict[int, Counter] = {}
+    for rule_id in topological_order(grammar):
+        counter: Counter = Counter()
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                counter += totals[element.rule_id]
+            elif not _is_boundary(element):
+                counter[element] += 1
+        totals[rule_id] = counter
+    files: list[Counter] = [Counter()]
+    for element in grammar.rules[grammar.root]:
+        if isinstance(element, RuleRef):
+            files[-1] += totals[element.rule_id]
+        elif _is_boundary(element):
+            files.append(Counter())
+        else:
+            files[-1][element] += 1
+    return files

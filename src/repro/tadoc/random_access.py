@@ -1,0 +1,169 @@
+"""Random access over TADOC grammars: word2rule and rule2location.
+
+Section 2.1 ("Random access"): Zhang et al. built indexes on word
+granularity — ``word2rule`` locates the rules containing a word, and
+``rule2location`` maps a rule to the absolute offsets at which its
+expansion appears in the original token stream.  Together they answer
+"where does word w occur?" and support extracting an arbitrary token
+range without expanding the whole grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tadoc.dag import topological_order
+from repro.tadoc.sequitur import Grammar, RuleRef, Token
+
+
+def rule_lengths(grammar: Grammar) -> dict[int, int]:
+    """Expanded token length of every rule (children before parents)."""
+    lengths: dict[int, int] = {}
+    for rule_id in topological_order(grammar):
+        total = 0
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                total += lengths[element.rule_id]
+            else:
+                total += 1
+        lengths[rule_id] = total
+    return lengths
+
+
+def word2rule(grammar: Grammar) -> dict[Token, set[int]]:
+    """Map each word to the set of rules whose body contains it directly."""
+    index: dict[Token, set[int]] = {}
+    for rule_id, body in grammar.rules.items():
+        for element in body:
+            if not isinstance(element, RuleRef):
+                index.setdefault(element, set()).add(rule_id)
+    return index
+
+
+def rule2location(grammar: Grammar) -> dict[int, list[int]]:
+    """Absolute token offsets at which each rule's expansion begins.
+
+    Computed top-down: the root starts at offset 0; every reference in
+    a body starts at each of its parent's locations plus the prefix
+    length before the reference.
+    """
+    lengths = rule_lengths(grammar)
+    locations: dict[int, list[int]] = {rule_id: [] for rule_id in grammar.rules}
+    locations[grammar.root] = [0]
+    for rule_id in reversed(topological_order(grammar)):
+        starts = locations[rule_id]
+        prefix = 0
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                child = locations[element.rule_id]
+                child.extend(start + prefix for start in starts)
+                prefix += lengths[element.rule_id]
+            else:
+                prefix += 1
+    for rule_id in locations:
+        locations[rule_id].sort()
+    return locations
+
+
+def locate_word(grammar: Grammar, word: Token) -> list[int]:
+    """Absolute token offsets of every occurrence of ``word``.
+
+    Uses word2rule to restrict attention to the rules containing the
+    word directly, and rule2location to translate the in-rule offsets
+    to absolute positions.
+    """
+    lengths = rule_lengths(grammar)
+    containing = word2rule(grammar).get(word)
+    if not containing:
+        return []
+    locations = rule2location(grammar)
+    offsets: list[int] = []
+    for rule_id in containing:
+        prefix = 0
+        local: list[int] = []
+        for element in grammar.rules[rule_id]:
+            if isinstance(element, RuleRef):
+                prefix += lengths[element.rule_id]
+            else:
+                if element == word:
+                    local.append(prefix)
+                prefix += 1
+        for start in locations[rule_id]:
+            offsets.extend(start + position for position in local)
+    return sorted(offsets)
+
+
+def extract(grammar: Grammar, offset: int, length: int) -> list[Token]:
+    """Extract ``length`` tokens starting at token ``offset``.
+
+    Descends the grammar using rule lengths, expanding only the rules
+    that intersect the requested range.
+    """
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    lengths = rule_lengths(grammar)
+    total = lengths[grammar.root]
+    if offset >= total or length == 0:
+        return []
+    length = min(length, total - offset)
+    out: list[Token] = []
+    # Stack of (rule_id, skip) pieces still to emit; skip applies to the
+    # front of the rule's expansion.
+    stack: list[tuple[str, object, int]] = [("rule", grammar.root, offset)]
+    remaining = length
+    while stack and remaining > 0:
+        kind, value, skip = stack.pop()
+        if kind == "tok":
+            out.append(value)
+            remaining -= 1
+            continue
+        assert isinstance(value, int)
+        pending: list[tuple[str, object, int]] = []
+        emitted_budget = remaining
+        for element in grammar.rules[value]:
+            if emitted_budget <= 0:
+                break
+            size = lengths[element.rule_id] if isinstance(element, RuleRef) else 1
+            if skip >= size:
+                skip -= size
+                continue
+            if isinstance(element, RuleRef):
+                take = min(size - skip, emitted_budget)
+                pending.append(("rule", element.rule_id, skip))
+                emitted_budget -= take
+                skip = 0
+            else:
+                pending.append(("tok", element, 0))
+                emitted_budget -= 1
+                skip = 0
+        stack.extend(reversed(pending))
+    return out
+
+
+class RandomAccessIndex:
+    """Bundled indexes for repeated random-access queries on one grammar."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.lengths = rule_lengths(grammar)
+        self.word_index = word2rule(grammar)
+        self._locations: Optional[dict[int, list[int]]] = None
+
+    @property
+    def locations(self) -> dict[int, list[int]]:
+        if self._locations is None:
+            self._locations = rule2location(self.grammar)
+        return self._locations
+
+    @property
+    def total_tokens(self) -> int:
+        return self.lengths[self.grammar.root]
+
+    def extract(self, offset: int, length: int) -> list[Token]:
+        return extract(self.grammar, offset, length)
+
+    def locate(self, word: Token) -> list[int]:
+        return locate_word(self.grammar, word)
+
+    def contains(self, word: Token) -> bool:
+        return word in self.word_index

@@ -1,0 +1,371 @@
+"""Sequitur grammar inference (Nevill-Manning & Witten, 1997).
+
+TADOC's compression comes from Sequitur (paper Section 2.1/3): the
+input token sequence is rewritten into a context-free grammar in which
+every repeated digram is replaced by a rule.  Two invariants are
+maintained online:
+
+* **digram uniqueness** — no pair of adjacent symbols appears more than
+  once in the grammar;
+* **rule utility** — every rule is referenced at least twice.
+
+The structure follows the reference implementation distributed by the
+authors (``sequitur_simple.cc``): rules are circular doubly-linked
+symbol lists behind a guard node, and a global digram index maps each
+adjacent pair to its canonical occurrence.
+
+The output :class:`Grammar` is the hierarchical representation whose
+DAG properties (notably its *depth*) motivate CompressDB's
+bounded-depth redesign.  Tokens may be any hashable values;
+:func:`tokenize` splits text into words, the granularity TADOC uses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence
+
+Token = Hashable
+
+
+class _Rule:
+    """A grammar rule: circular doubly-linked symbol list with a guard."""
+
+    __slots__ = ("id", "count", "guard")
+
+    def __init__(self, rule_id: int) -> None:
+        self.id = rule_id
+        self.count = 0  # number of references to this rule
+        self.guard = _Symbol(None, owner=self)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> "_Symbol":
+        return self.guard.next
+
+    def last(self) -> "_Symbol":
+        return self.guard.prev
+
+    def symbols(self) -> Iterable["_Symbol"]:
+        symbol = self.first()
+        while not symbol.is_guard:
+            yield symbol
+            symbol = symbol.next
+
+
+class _Symbol:
+    """A terminal token, a rule reference, or a rule's guard node."""
+
+    __slots__ = ("terminal", "rule", "owner", "prev", "next")
+
+    def __init__(
+        self,
+        terminal: Optional[Token] = None,
+        rule: Optional[_Rule] = None,
+        owner: Optional[_Rule] = None,
+    ) -> None:
+        self.terminal = terminal
+        self.rule = rule
+        self.owner = owner  # set only on guard nodes
+        if rule is not None:
+            rule.count += 1
+        self.prev: "_Symbol" = self
+        self.next: "_Symbol" = self
+
+    @classmethod
+    def copy_of(cls, other: "_Symbol") -> "_Symbol":
+        if other.rule is not None:
+            return cls(rule=other.rule)
+        return cls(terminal=other.terminal)
+
+    @property
+    def is_guard(self) -> bool:
+        return self.owner is not None
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return self.rule is not None
+
+    def value_key(self):
+        if self.rule is not None:
+            return ("r", self.rule.id)
+        return ("t", self.terminal)
+
+    def digram_key(self):
+        return (self.value_key(), self.next.value_key())
+
+
+class Sequitur:
+    """Online Sequitur compressor.  Feed tokens, then take the grammar."""
+
+    def __init__(self) -> None:
+        self._next_rule_id = 0
+        self.root = self._new_rule()
+        self._digrams: dict[tuple, _Symbol] = {}
+
+    def _new_rule(self) -> _Rule:
+        rule = _Rule(self._next_rule_id)
+        self._next_rule_id += 1
+        return rule
+
+    # -- digram index ----------------------------------------------------------
+    def _delete_digram(self, symbol: _Symbol) -> None:
+        """Drop the index entry for the digram starting at ``symbol``.
+
+        In a run of identical symbols ("x x x") the overlapping digrams
+        share one index key; when the indexed occurrence disappears the
+        surviving overlap must take over the slot, or a later duplicate
+        of the same digram would go undetected.
+        """
+        if symbol.is_guard or symbol.next.is_guard:
+            return
+        key = symbol.digram_key()
+        if self._digrams.get(key) is not symbol:
+            return
+        del self._digrams[key]
+        same = symbol.value_key()
+        if key != (same, same):
+            return
+        prev = symbol.prev
+        if not prev.is_guard and prev.value_key() == same:
+            self._digrams[key] = prev
+            return
+        nxt = symbol.next
+        if not nxt.next.is_guard and nxt.next.value_key() == same:
+            self._digrams[key] = nxt
+
+    # -- linked-list plumbing -----------------------------------------------------
+    def _join(self, left: _Symbol, right: _Symbol) -> None:
+        self._delete_digram(left)
+        left.next = right
+        right.prev = left
+
+    def _insert_after(self, position: _Symbol, symbol: _Symbol) -> None:
+        self._join(symbol, position.next)
+        self._join(position, symbol)
+
+    def _remove(self, symbol: _Symbol) -> None:
+        """Unlink a non-guard symbol, maintaining counts and digrams."""
+        self._join(symbol.prev, symbol.next)
+        self._delete_digram(symbol)
+        if symbol.rule is not None:
+            symbol.rule.count -= 1
+
+    # -- the algorithm ----------------------------------------------------------------
+    def feed(self, token: Token) -> None:
+        """Append one terminal to the root rule and restore the invariants."""
+        symbol = _Symbol(terminal=token)
+        self._insert_after(self.root.last(), symbol)
+        if not symbol.prev.is_guard:
+            self._check(symbol.prev)
+
+    def feed_many(self, tokens: Iterable[Token]) -> None:
+        for token in tokens:
+            self.feed(token)
+
+    def _check(self, first: _Symbol) -> bool:
+        """Enforce digram uniqueness for the digram at ``first``."""
+        if first.is_guard or first.next.is_guard:
+            return False
+        key = first.digram_key()
+        match = self._digrams.get(key)
+        if match is None:
+            self._digrams[key] = first
+            return False
+        if match.next is not first and first.next is not match:
+            self._match(first, match)
+        return True
+
+    def _match(self, new: _Symbol, old: _Symbol) -> None:
+        """Rewrite two occurrences of the same digram into a rule."""
+        if old.prev.is_guard and old.next.next.is_guard:
+            # The old occurrence is exactly a rule body: reuse that rule.
+            rule = old.prev.owner
+            assert rule is not None
+            self._substitute(new, rule)
+        else:
+            rule = self._new_rule()
+            self._insert_after(rule.guard, _Symbol.copy_of(new))
+            self._insert_after(rule.first(), _Symbol.copy_of(new.next))
+            self._substitute(old, rule)
+            self._substitute(new, rule)
+            self._digrams[rule.first().digram_key()] = rule.first()
+        # Rule utility: expand a now-single-use rule inside the rule body.
+        for end in (rule.first(), rule.last()):
+            if end.is_nonterminal and end.rule is not None and end.rule.count == 1:
+                self._expand(end)
+
+    def _substitute(self, first: _Symbol, rule: _Rule) -> None:
+        """Replace the digram starting at ``first`` with a rule reference."""
+        position = first.prev
+        self._remove(position.next)
+        self._remove(position.next)
+        self._insert_after(position, _Symbol(rule=rule))
+        if not self._check(position):
+            self._check(position.next)
+
+    def _expand(self, reference: _Symbol) -> None:
+        """Inline the sole remaining reference to a rule (rule utility)."""
+        rule = reference.rule
+        assert rule is not None and rule.count == 1
+        left = reference.prev
+        right = reference.next
+        first = rule.first()
+        last = rule.last()
+        if first.is_guard:  # empty rule body; just drop the reference
+            self._remove(reference)
+            return
+        self._delete_digram(reference)
+        self._delete_digram(reference.prev)
+        left.next = first
+        first.prev = left
+        last.next = right
+        right.prev = last
+        rule.count -= 1
+        # Re-validate the two seam digrams.  Using _check (instead of
+        # blindly indexing) keeps overlapping digrams like "0 0 0" from
+        # stealing the index slot of their earlier occurrence.
+        self._check(last)
+        if left.next is first and not left.is_guard:
+            # Left seam still intact after the right-seam check.
+            self._check(left)
+
+    # -- output ---------------------------------------------------------------------------
+    def grammar(self) -> "Grammar":
+        """Snapshot the current grammar (the root rule id is 0)."""
+        rules: dict[int, list] = {}
+        stack = [self.root]
+        while stack:
+            rule = stack.pop()
+            if rule.id in rules:
+                continue
+            body: list = []
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal:
+                    assert symbol.rule is not None
+                    body.append(RuleRef(symbol.rule.id))
+                    stack.append(symbol.rule)
+                else:
+                    body.append(symbol.terminal)
+            rules[rule.id] = body
+        return Grammar(rules=rules, root=self.root.id)
+
+
+class RuleRef:
+    """Reference to a rule inside a grammar body."""
+
+    __slots__ = ("rule_id",)
+
+    def __init__(self, rule_id: int) -> None:
+        self.rule_id = rule_id
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RuleRef) and other.rule_id == self.rule_id
+
+    def __hash__(self) -> int:
+        return hash(("ruleref", self.rule_id))
+
+    def __repr__(self) -> str:
+        return f"R{self.rule_id}"
+
+
+class Grammar:
+    """An immutable grammar snapshot produced by :class:`Sequitur`."""
+
+    def __init__(self, rules: dict[int, list], root: int) -> None:
+        self.rules = rules
+        self.root = root
+
+    def expand(self, rule_id: Optional[int] = None) -> list[Token]:
+        """Fully expand a rule (the root by default) back into tokens."""
+        if rule_id is None:
+            rule_id = self.root
+        out: list[Token] = []
+        stack: list = [("rule", rule_id)]
+        while stack:
+            kind, value = stack.pop()
+            if kind == "tok":
+                out.append(value)
+                continue
+            for element in reversed(self.rules[value]):
+                if isinstance(element, RuleRef):
+                    stack.append(("rule", element.rule_id))
+                else:
+                    stack.append(("tok", element))
+        return out
+
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def total_symbols(self) -> int:
+        """Symbols across all rule bodies: the compressed-size metric."""
+        return sum(len(body) for body in self.rules.values())
+
+    def reference_counts(self) -> dict[int, int]:
+        """How many times each rule is referenced."""
+        counts = {rule_id: 0 for rule_id in self.rules}
+        for body in self.rules.values():
+            for element in body:
+                if isinstance(element, RuleRef):
+                    counts[element.rule_id] += 1
+        return counts
+
+    def check_invariants(self) -> None:
+        """Digram uniqueness + rule utility, verified offline."""
+        digrams: set[tuple] = set()
+        for body in self.rules.values():
+            pairs = list(zip(body, body[1:]))
+            for i, (a, b) in enumerate(pairs):
+                key = (
+                    ("r", a.rule_id) if isinstance(a, RuleRef) else ("t", a),
+                    ("r", b.rule_id) if isinstance(b, RuleRef) else ("t", b),
+                )
+                if key in digrams:
+                    # Overlapping identical digrams ("a a a") are allowed.
+                    if i > 0 and pairs[i - 1] == (a, b) and key[0] == key[1]:
+                        continue
+                    raise AssertionError(f"repeated digram {key}")
+                digrams.add(key)
+        for rule_id, count in self.reference_counts().items():
+            if rule_id == self.root:
+                continue
+            if count < 2:
+                raise AssertionError(f"rule {rule_id} referenced {count} time(s)")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split text into words — TADOC's processing granularity."""
+    return text.split()
+
+
+def compress(tokens: Sequence[Token]) -> Grammar:
+    """Run Sequitur over a token sequence and return the grammar."""
+    seq = Sequitur()
+    seq.feed_many(tokens)
+    return seq.grammar()
+
+
+def compress_files(files: Sequence[Sequence[Token]]) -> Grammar:
+    """Compress several files together with ``spt`` boundary markers.
+
+    Each boundary is a unique sentinel token ``("spt", i)`` inserted in
+    the root (Figure 1b), so redundancy between files is exploited
+    while the boundaries stay identifiable.
+    """
+    seq = Sequitur()
+    for i, tokens in enumerate(files):
+        if i > 0:
+            seq.feed(("spt", i))
+        seq.feed_many(tokens)
+    return seq.grammar()
+
+
+def split_files(grammar: Grammar) -> list[list[Token]]:
+    """Invert :func:`compress_files`: expand and split at spt markers."""
+    tokens = grammar.expand()
+    files: list[list[Token]] = [[]]
+    for token in tokens:
+        if isinstance(token, tuple) and len(token) == 2 and token[0] == "spt":
+            files.append([])
+        else:
+            files[-1].append(token)
+    return files

@@ -1,0 +1,56 @@
+"""Workload generation: datasets, query mixes, filebench, metrics."""
+
+from repro.workloads.datasets import (
+    DATASET_SPECS,
+    DOCUMENT_DATASETS,
+    STRUCTURED_DATASETS,
+    Dataset,
+    DatasetSpec,
+    generate_dataset,
+    generate_redundancy_sweep,
+    structured_rows,
+)
+from repro.workloads.filebench import FilebenchResult, build_fileset, run_fileserver
+from repro.workloads.metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputResult,
+    percentile,
+)
+from repro.workloads.querygen import (
+    Operation,
+    QueryMixGenerator,
+    ReadOp,
+    WriteOp,
+    zipf_rank,
+)
+from repro.workloads.ycsb import PROFILES as YCSB_PROFILES
+from repro.workloads.ycsb import YCSBGenerator, YCSBOp, YCSBProfile, run_ycsb
+
+__all__ = [
+    "DATASET_SPECS",
+    "DOCUMENT_DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "FilebenchResult",
+    "LatencyRecorder",
+    "LatencySummary",
+    "Operation",
+    "QueryMixGenerator",
+    "ReadOp",
+    "STRUCTURED_DATASETS",
+    "ThroughputResult",
+    "WriteOp",
+    "YCSBGenerator",
+    "YCSBOp",
+    "YCSBProfile",
+    "YCSB_PROFILES",
+    "build_fileset",
+    "run_ycsb",
+    "generate_dataset",
+    "generate_redundancy_sweep",
+    "percentile",
+    "run_fileserver",
+    "structured_rows",
+    "zipf_rank",
+]

@@ -1,0 +1,128 @@
+"""A Filebench-style file-server workload (Figure 12).
+
+Section 6.5 uses Filebench to measure raw read/write behaviour of the
+file systems: allocate a file set with various directories and files,
+then perform reads and writes and report throughput, latency, and
+bandwidth utilisation.  :func:`run_fileserver` reproduces the classic
+``fileserver`` personality: whole-file reads, whole-file writes,
+appends, and stat/open/close activity over a generated file set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.fs.vfs import FileSystem
+from repro.storage.simclock import SimClock
+from repro.workloads.metrics import LatencyRecorder, LatencySummary
+
+
+@dataclass(frozen=True)
+class FilebenchResult:
+    """What Figure 12 plots: throughput, latency, bandwidth utilisation."""
+
+    variant: str
+    read_mb_per_s: float
+    write_mb_per_s: float
+    latency: LatencySummary
+    bandwidth_utilisation: float
+    operations: int
+    simulated_seconds: float
+
+
+def _content_pool(rng: random.Random, pool_size: int, piece: int) -> list[bytes]:
+    alphabet = b"abcdefghijklmnopqrstuvwxyz \n"
+    return [
+        bytes(rng.choice(alphabet) for __ in range(piece)) for __ in range(pool_size)
+    ]
+
+
+def build_fileset(
+    fs: FileSystem,
+    files: int = 32,
+    file_bytes: int = 16 * 1024,
+    duplicate_fraction: float = 0.5,
+    seed: int = 9,
+) -> list[str]:
+    """Create the file set; a fraction of content repeats across files."""
+    rng = random.Random(seed)
+    piece = fs.block_size
+    pool = _content_pool(rng, 24, piece)
+    paths = []
+    for index in range(files):
+        path = f"/fileset/dir{index % 4}/file{index:04d}"
+        blocks = []
+        for __ in range(max(1, file_bytes // piece)):
+            if rng.random() < duplicate_fraction:
+                blocks.append(rng.choice(pool))
+            else:
+                blocks.append(bytes(rng.choice(b"0123456789abcdef") for __ in range(piece)))
+        fs.write_file(path, b"".join(blocks))
+        paths.append(path)
+    return paths
+
+
+def run_fileserver(
+    fs: FileSystem,
+    clock: SimClock,
+    variant: str,
+    operations: int = 400,
+    files: int = 32,
+    file_bytes: int = 16 * 1024,
+    seed: int = 9,
+) -> FilebenchResult:
+    """Run the fileserver mix and report Figure 12's metrics.
+
+    Mix (following the Filebench fileserver personality): 1/3 whole-file
+    reads, 1/3 whole-file writes (create or overwrite), 1/3 appends.
+    """
+    rng = random.Random(seed)
+    paths = build_fileset(fs, files=files, file_bytes=file_bytes, seed=seed)
+    pool = _content_pool(rng, 24, fs.block_size)
+
+    def write_block() -> bytes:
+        """Half the written blocks repeat pool content, half are fresh
+        (mirroring the fileset's own redundancy profile)."""
+        if rng.random() < 0.5:
+            return rng.choice(pool)
+        return bytes(rng.choice(b"0123456789abcdef") for __ in range(fs.block_size))
+
+    latencies = LatencyRecorder()
+    read_bytes = 0
+    write_bytes = 0
+    start_time = clock.now
+    for __ in range(operations):
+        path = rng.choice(paths)
+        op = rng.random()
+        op_start = clock.now
+        if op < 1 / 3:
+            data = fs.read_file(path)
+            read_bytes += len(data)
+        elif op < 2 / 3:
+            blocks = [write_block() for __ in range(max(1, file_bytes // fs.block_size))]
+            payload = b"".join(blocks)
+            fs.write_file(path, payload)
+            write_bytes += len(payload)
+        else:
+            payload = write_block()
+            fs.append_file(path, payload)
+            write_bytes += len(payload)
+        latencies.record(clock.now - op_start)
+    elapsed = clock.now - start_time
+    total_bytes = read_bytes + write_bytes
+    device = fs.device
+    # Bandwidth utilisation: useful bytes over what the device could
+    # have streamed in the same simulated time.
+    capacity = device.profile.bandwidth_bytes_per_s * elapsed if elapsed > 0 else 0.0
+    utilisation = min(1.0, total_bytes / capacity) if capacity > 0 else 0.0
+    mb = 1024 * 1024
+    return FilebenchResult(
+        variant=variant,
+        read_mb_per_s=read_bytes / mb / elapsed if elapsed > 0 else 0.0,
+        write_mb_per_s=write_bytes / mb / elapsed if elapsed > 0 else 0.0,
+        latency=latencies.summary(),
+        bandwidth_utilisation=utilisation,
+        operations=operations,
+        simulated_seconds=elapsed,
+    )

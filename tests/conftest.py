@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import CompressDB
+from repro.fs.compressfs import CompressFS
+from repro.fs.vfs import PassthroughFS
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import SimClock
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def device(clock: SimClock) -> MemoryBlockDevice:
+    return MemoryBlockDevice(block_size=64, clock=clock)
+
+
+@pytest.fixture
+def engine() -> CompressDB:
+    """A small-block engine with a tiny pointer-page capacity so page
+    splits and multi-page files are exercised by ordinary tests."""
+    return CompressDB(block_size=64, page_capacity=4)
+
+
+@pytest.fixture
+def compress_fs() -> CompressFS:
+    return CompressFS(block_size=64, page_capacity=4)
+
+
+@pytest.fixture
+def passthrough_fs() -> PassthroughFS:
+    return PassthroughFS(block_size=64)
+
+
+@pytest.fixture(params=["passthrough", "compress"])
+def any_fs(request):
+    """Parametrized over both file systems — they must behave identically."""
+    if request.param == "passthrough":
+        return PassthroughFS(block_size=64)
+    return CompressFS(block_size=64, page_capacity=4)

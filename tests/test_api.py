@@ -1,0 +1,146 @@
+"""Tests for the non-POSIX APIs: DirectAPI and the unix-socket protocol."""
+
+import pytest
+
+from repro.core.api import APIError, DirectAPI, SocketClient, SocketServer
+from repro.core.engine import CompressDB
+
+
+@pytest.fixture
+def engine_with_file():
+    engine = CompressDB(block_size=64)
+    engine.write_file("/doc", b"alpha beta gamma alpha beta " * 4)
+    return engine
+
+
+class TestDirectAPI:
+    def test_extract(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        assert api.extract("/doc", 0, 5) == b"alpha"
+
+    def test_insert_and_delete(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        api.insert("/doc", 6, b"INS ")
+        assert api.extract("/doc", 0, 14) == b"alpha INS beta"
+        api.delete("/doc", 6, 4)
+        assert api.extract("/doc", 0, 10) == b"alpha beta"
+
+    def test_replace(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        api.replace("/doc", 0, b"ALPHA")
+        assert api.extract("/doc", 0, 5) == b"ALPHA"
+
+    def test_append(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        size = engine_with_file.file_size("/doc")
+        api.append("/doc", b"tail")
+        assert api.extract("/doc", size, 4) == b"tail"
+
+    def test_search_and_count(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        offsets = api.search("/doc", b"beta")
+        assert len(offsets) == 8
+        assert api.count("/doc", b"beta") == 8
+
+
+class TestSocketProtocol:
+    @pytest.fixture
+    def server(self, engine_with_file, tmp_path):
+        socket_path = str(tmp_path / "compressdb.sock")
+        with SocketServer(engine_with_file, socket_path) as running:
+            yield running
+
+    def test_extract_over_socket(self, server):
+        with SocketClient(server.socket_path) as client:
+            assert client.extract("/doc", 0, 5) == b"alpha"
+
+    def test_manipulation_over_socket(self, server):
+        with SocketClient(server.socket_path) as client:
+            client.insert("/doc", 0, b">> ")
+            client.replace("/doc", 0, b"## ")
+            client.append("/doc", b" <<")
+            client.delete("/doc", 0, 3)
+            data = client.extract("/doc", 0, 5)
+            assert data == b"alpha"
+
+    def test_search_over_socket(self, server):
+        with SocketClient(server.socket_path) as client:
+            offsets = client.search("/doc", b"alpha")
+            assert offsets and all(isinstance(off, int) for off in offsets)
+            assert client.count("/doc", b"alpha") == len(offsets)
+
+    def test_binary_payload_roundtrip(self, server):
+        payload = bytes(range(256))
+        original_size = len(b"alpha beta gamma alpha beta " * 4)
+        with SocketClient(server.socket_path) as client:
+            client.append("/doc", payload)
+            assert client.extract("/doc", original_size, 256) == payload
+
+    def test_error_propagates_to_client(self, server):
+        with SocketClient(server.socket_path) as client:
+            with pytest.raises(APIError):
+                client.extract("/missing", 0, 1)
+
+    def test_multiple_sequential_clients(self, server):
+        for __ in range(3):
+            with SocketClient(server.socket_path) as client:
+                assert client.count("/doc", b"gamma") == 4
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_are_served(self, engine_with_file, tmp_path):
+        import threading
+
+        socket_path = str(tmp_path / "concurrent.sock")
+        with SocketServer(engine_with_file, socket_path) as server:
+            errors: list[Exception] = []
+
+            def worker(worker_no: int) -> None:
+                try:
+                    with SocketClient(server.socket_path) as client:
+                        for i in range(10):
+                            client.append("/doc", b"w%d-%02d " % (worker_no, i))
+                            assert client.count("/doc", b"alpha") >= 8
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            # All 40 appends landed and the engine is consistent.
+            with SocketClient(server.socket_path) as client:
+                total = sum(
+                    client.count("/doc", b"w%d-" % n) for n in range(4)
+                )
+            assert total == 40
+        engine_with_file.check_invariants()
+
+    def test_two_simultaneous_connections(self, engine_with_file, tmp_path):
+        socket_path = str(tmp_path / "pair.sock")
+        with SocketServer(engine_with_file, socket_path) as server:
+            with SocketClient(server.socket_path) as first:
+                with SocketClient(server.socket_path) as second:
+                    # Interleaved requests on two open connections.
+                    assert first.count("/doc", b"alpha") == 8
+                    assert second.count("/doc", b"beta") == 8
+                    first.append("/doc", b" one")
+                    second.append("/doc", b" two")
+                    assert first.count("/doc", b"two") == 1
+
+
+class TestWordCountAPI:
+    def test_direct_api(self, engine_with_file):
+        api = DirectAPI(engine_with_file)
+        counts = api.word_count("/doc")
+        assert counts[b"alpha"] == 8
+
+    def test_over_socket(self, engine_with_file, tmp_path):
+        socket_path = str(tmp_path / "wc.sock")
+        with SocketServer(engine_with_file, socket_path) as server:
+            with SocketClient(server.socket_path) as client:
+                counts = client.word_count("/doc")
+        assert counts[b"beta"] == 8
+        assert counts[b"gamma"] == 4

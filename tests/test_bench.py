@@ -1,0 +1,151 @@
+"""Tests for the benchmark harness (runner + report)."""
+
+import pytest
+
+from repro.bench import (
+    VARIANTS,
+    format_table,
+    improvement_percent,
+    load_dataset_into_fs,
+    make_database,
+    make_fs,
+    reduction_percent,
+    run_database_workload,
+    speedup,
+)
+from repro.fs.compressfs import CompressFS
+from repro.fs.overlay_lz4 import CompressedOverlayFS
+from repro.fs.vfs import PassthroughFS
+from repro.workloads import generate_dataset
+
+
+class TestMakeFS:
+    def test_all_variants_constructible(self):
+        for variant in VARIANTS:
+            mounted = make_fs(variant)
+            mounted.fs.write_file("/probe", b"hello")
+            assert mounted.fs.read_file("/probe") == b"hello"
+
+    def test_variant_types(self):
+        assert isinstance(make_fs("baseline").fs, PassthroughFS)
+        assert isinstance(make_fs("compressdb").fs, CompressFS)
+        assert isinstance(make_fs("baseline-lz4").fs, CompressedOverlayFS)
+        overlay = make_fs("compressdb-lz4").fs
+        assert isinstance(overlay, CompressedOverlayFS)
+        assert isinstance(overlay.backing, CompressFS)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs("zram")
+
+    def test_io_charges_shared_clock(self):
+        mounted = make_fs("compressdb")
+        before = mounted.clock.now
+        mounted.fs.write_file("/f", b"x" * 8192)
+        assert mounted.clock.now > before
+
+
+class TestMakeDatabase:
+    @pytest.mark.parametrize("name", ["sqlite", "leveldb", "mongodb", "clickhouse"])
+    def test_databases_ready_for_bench_calls(self, name):
+        mounted = make_fs("compressdb")
+        db = make_database(name, mounted.fs)
+        db.bench_write("1", "value one")
+        assert db.bench_read("1") is not None
+
+    def test_unknown_database_rejected(self):
+        with pytest.raises(ValueError):
+            make_database("oracle", make_fs("baseline").fs)
+
+
+class TestWorkloadRunner:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset("E", scale=0.2)
+
+    def test_result_fields(self, dataset):
+        result = run_database_workload(
+            "leveldb", dataset, "baseline", operations=40, universe=20, preload=20
+        )
+        assert result.operations == 40
+        assert result.simulated_seconds > 0
+        assert result.ops_per_second > 0
+        assert result.latency.count == 40
+
+    def test_compressdb_beats_baseline_on_redundant_data(self, dataset):
+        base = run_database_workload(
+            "mongodb", dataset, "baseline", operations=80, universe=30, preload=30
+        )
+        comp = run_database_workload(
+            "mongodb", dataset, "compressdb", operations=80, universe=30, preload=30
+        )
+        assert comp.ops_per_second > base.ops_per_second
+
+    def test_compressdb_stores_fewer_bytes_under_resaves(self, dataset):
+        """Re-saving documents (the common document-DB write) appends
+        identical aligned records, which only CompressDB dedups."""
+        physical = {}
+        for variant in ("baseline", "compressdb"):
+            mounted = make_fs(variant)
+            db = make_database("mongodb", mounted.fs)
+            body = dataset.concatenated()[:4096].decode("ascii", errors="replace")
+            for round_no in range(3):
+                for key in range(10):
+                    db.bench_write(str(key), body)
+            physical[variant] = mounted.fs.physical_bytes()
+        assert physical["compressdb"] < physical["baseline"] / 2
+
+    def test_load_dataset_into_fs(self, dataset):
+        mounted = make_fs("compressdb")
+        load_dataset_into_fs(mounted.fs, dataset)
+        assert mounted.fs.logical_bytes() == dataset.total_bytes
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123], [123456.0]])
+        assert "1.230e-04" in table
+        assert "1.235e+05" in table
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_improvement_and_reduction(self):
+        assert improvement_percent(100.0, 140.0) == pytest.approx(40.0)
+        assert reduction_percent(100.0, 56.0) == pytest.approx(44.0)
+        assert improvement_percent(0.0, 5.0) == 0.0
+        assert reduction_percent(0.0, 5.0) == 0.0
+
+
+class TestPrintHelpers:
+    def test_print_table_writes_stdout(self, capsys):
+        from repro.bench import print_table
+
+        print_table(["a"], [[1]], title="T")
+        out = capsys.readouterr().out
+        assert "T" in out and "a" in out and "1" in out
+
+    def test_print_series(self, capsys):
+        from repro.bench import print_series
+
+        print_series("S", [(1, 2.0)], xlabel="x", ylabel="y")
+        out = capsys.readouterr().out
+        assert "S" in out and "x" in out
+
+    def test_print_comparison_with_and_without_paper(self, capsys):
+        from repro.bench import print_comparison
+
+        print_comparison("t", "m", 1.5, paper=2.0, unit="x")
+        print_comparison("t", "m", 1.5)
+        out = capsys.readouterr().out
+        assert "paper reports" in out

@@ -1,0 +1,193 @@
+"""Tests for the ``compressdb`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def image(tmp_path):
+    path = str(tmp_path / "store.img")
+    assert main(["init", path, "--block-size", "256"]) == 0
+    return path
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    path = tmp_path / "corpus.txt"
+    path.write_bytes(b"the quick brown fox jumps over the lazy dog " * 40)
+    return str(path)
+
+
+class TestLifecycle:
+    def test_init_creates_image(self, tmp_path, capsys):
+        path = str(tmp_path / "fresh.img")
+        assert main(["init", path, "--block-size", "256"]) == 0
+        assert "initialised" in capsys.readouterr().out
+        assert (tmp_path / "fresh.img").exists()
+
+    def test_put_ls_get_roundtrip(self, image, corpus, tmp_path, capsys):
+        assert main(["put", image, corpus, "/corpus.txt"]) == 0
+        assert main(["ls", image]) == 0
+        out = capsys.readouterr().out
+        assert "/corpus.txt" in out
+        target = str(tmp_path / "out.txt")
+        assert main(["get", image, "/corpus.txt", "-o", target]) == 0
+        assert open(target, "rb").read() == open(corpus, "rb").read()
+
+    def test_get_to_stdout(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["get", image, "/c"]) == 0
+
+    def test_rm(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        assert main(["rm", image, "/c"]) == 0
+        capsys.readouterr()
+        main(["ls", image])
+        assert "/c" not in capsys.readouterr().out
+
+    def test_missing_source_file_errors(self, image, capsys):
+        assert main(["put", image, "/no/such/file", "/x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestManipulation:
+    def test_insert_persists(self, image, corpus, tmp_path, capsys):
+        main(["put", image, corpus, "/c"])
+        assert main(["insert", image, "/c", "4", "INSERTED "]) == 0
+        target = str(tmp_path / "after.txt")
+        main(["get", image, "/c", "-o", target])
+        assert open(target, "rb").read().startswith(b"the INSERTED quick")
+
+    def test_delete_persists(self, image, corpus, tmp_path):
+        main(["put", image, corpus, "/c"])
+        assert main(["delete", image, "/c", "0", "4"]) == 0
+        target = str(tmp_path / "after.txt")
+        main(["get", image, "/c", "-o", target])
+        assert open(target, "rb").read().startswith(b"quick brown")
+
+    def test_replace(self, image, corpus, tmp_path):
+        main(["put", image, corpus, "/c"])
+        assert main(["replace", image, "/c", "0", "THE"]) == 0
+        target = str(tmp_path / "after.txt")
+        main(["get", image, "/c", "-o", target])
+        assert open(target, "rb").read().startswith(b"THE quick")
+
+    def test_append_from_file(self, image, corpus, tmp_path):
+        main(["put", image, corpus, "/c"])
+        extra = tmp_path / "extra.bin"
+        extra.write_bytes(b"[tail]")
+        assert main(["append", image, "/c", "--from-file", str(extra)]) == 0
+        target = str(tmp_path / "after.txt")
+        main(["get", image, "/c", "-o", target])
+        assert open(target, "rb").read().endswith(b"[tail]")
+
+    def test_missing_payload_errors(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        assert main(["append", image, "/c"]) == 2
+        assert "provide DATA" in capsys.readouterr().err
+
+
+class TestQueries:
+    def test_search(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["search", image, "/c", "fox"]) == 0
+        captured = capsys.readouterr()
+        offsets = [int(line) for line in captured.out.split()]
+        assert len(offsets) == 40
+        assert "40 occurrence(s)" in captured.err
+
+    def test_count(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["count", image, "/c", "the"]) == 0
+        assert capsys.readouterr().out.strip() == "80"
+
+    def test_stats(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        main(["put", image, corpus, "/c2"])  # duplicate content
+        capsys.readouterr()
+        assert main(["stats", image]) == 0
+        out = capsys.readouterr().out
+        assert "compression ratio" in out
+        ratio = float(out.split("compression ratio:")[1].split()[0])
+        assert ratio > 1.5  # the duplicate file dedups
+
+
+class TestMaintenance:
+    def test_fsck_on_healthy_image(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["fsck", image]) == 0
+        out = capsys.readouterr().out
+        assert "refcounts fixed:  0" in out
+        assert "blocks reclaimed: 0" in out
+
+    def test_defrag(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        for offset in (10, 50, 90):
+            main(["insert", image, "/c", str(offset), "frag"])
+        capsys.readouterr()
+        assert main(["defrag", image, "/c"]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        # Content still correct after defrag.
+        main(["count", image, "/c", "frag"])
+        assert capsys.readouterr().out.strip() == "3"
+
+
+class TestClone:
+    def test_cp_is_metadata_only(self, image, corpus, capsys):
+        main(["put", image, corpus, "/a"])
+        size_before = __import__("os").path.getsize(image)
+        assert main(["cp", image, "/a", "/b"]) == 0
+        capsys.readouterr()
+        main(["ls", image])
+        out = capsys.readouterr().out
+        assert "/a" in out and "/b" in out
+        # Image grows by metadata only, not another copy of the data.
+        size_after = __import__("os").path.getsize(image)
+        data_size = __import__("os").path.getsize(corpus)
+        assert size_after - size_before < data_size / 2
+
+    def test_clone_content_identical(self, image, corpus, tmp_path):
+        main(["put", image, corpus, "/a"])
+        main(["cp", image, "/a", "/b"])
+        out_a = str(tmp_path / "a.out")
+        out_b = str(tmp_path / "b.out")
+        main(["get", image, "/a", "-o", out_a])
+        main(["get", image, "/b", "-o", out_b])
+        assert open(out_a, "rb").read() == open(out_b, "rb").read()
+
+
+class TestDescribe:
+    def test_describe_reports_structure(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        main(["cp", image, "/c", "/c2"])
+        main(["insert", image, "/c", "10", "holey"])
+        capsys.readouterr()
+        assert main(["describe", image, "/c"]) == 0
+        out = capsys.readouterr().out
+        assert "slots" in out and "hole_bytes" in out
+        assert "depth             2" in out.replace("  ", " ") or "depth" in out
+
+    def test_describe_shared_blocks(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        main(["cp", image, "/c", "/clone"])
+        capsys.readouterr()
+        main(["describe", image, "/clone"])
+        out = capsys.readouterr().out
+        shared = int(out.split("shared_blocks")[1].split()[0])
+        distinct = int(out.split("distinct_blocks")[1].split()[0])
+        assert shared == distinct  # every block shared with the original
+
+
+class TestWordcountCommand:
+    def test_wordcount_top(self, image, corpus, capsys):
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["wordcount", image, "/c", "--top", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert out[0].split()[0] == "80"  # "the" appears 2x per sentence

@@ -1,0 +1,92 @@
+"""Tests for the column store's lightweight DELETE and OPTIMIZE."""
+
+import pytest
+
+from repro.databases.minicolumn import ColumnStoreError, MiniColumn
+from repro.fs import CompressFS, PassthroughFS
+
+
+@pytest.fixture(params=["passthrough", "compress"])
+def db(request):
+    fs = PassthroughFS(block_size=256) if request.param == "passthrough" else CompressFS(block_size=256)
+    database = MiniColumn(fs)
+    database.execute("CREATE TABLE t (id INT, grp INT, name TEXT)")
+    rows = ", ".join(f"({i}, {i % 4}, 'n{i}')" for i in range(40))
+    database.execute(f"INSERT INTO t VALUES {rows}")
+    return database
+
+
+class TestDelete:
+    def test_delete_hides_rows(self, db):
+        db.execute("DELETE FROM t WHERE grp = 1")
+        rows = db.execute("SELECT id FROM t")
+        assert [r["id"] for r in rows] == [i for i in range(40) if i % 4 != 1]
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT count(*) c FROM t")[0]["c"] == 0
+
+    def test_delete_is_idempotent(self, db):
+        db.execute("DELETE FROM t WHERE id = 5")
+        db.execute("DELETE FROM t WHERE id = 5")
+        assert db.table("t").deleted_count() == 1
+
+    def test_aggregates_ignore_deleted(self, db):
+        db.execute("DELETE FROM t WHERE id >= 20")
+        result = db.execute("SELECT count(*) c, max(id) m FROM t")[0]
+        assert result == {"c": 20, "m": 19}
+
+    def test_update_skips_deleted_rows(self, db):
+        db.execute("DELETE FROM t WHERE id = 3")
+        db.execute("UPDATE t SET grp = 99")
+        # The dead row was not updated; live rows were.
+        assert db.table("t").read_row(3)["grp"] == 3
+        assert db.execute("SELECT count(*) c FROM t WHERE grp = 99")[0]["c"] == 39
+
+    def test_delete_with_zone_pruned_scan(self, db):
+        db.execute("DELETE FROM t WHERE id >= 10 AND id <= 15")
+        rows = db.execute("SELECT id FROM t WHERE id >= 8 AND id <= 17")
+        assert [r["id"] for r in rows] == [8, 9, 16, 17]
+
+    def test_mark_out_of_range_rejected(self, db):
+        with pytest.raises(ColumnStoreError):
+            db.table("t").mark_deleted([999])
+
+    def test_mask_survives_reopen(self, db):
+        db.execute("DELETE FROM t WHERE grp = 0")
+        reopened = MiniColumn(db.fs)
+        assert reopened.execute("SELECT count(*) c FROM t")[0]["c"] == 30
+
+
+class TestOptimize:
+    def test_optimize_compacts_storage(self, db):
+        db.execute("DELETE FROM t WHERE id < 30")
+        size_before = db.fs.logical_bytes()
+        removed = db.table("t").optimize()
+        assert removed == 30
+        assert db.fs.logical_bytes() < size_before
+        assert db.table("t").row_count() == 10
+        assert db.table("t").deleted_count() == 0
+
+    def test_optimize_preserves_results(self, db):
+        db.execute("DELETE FROM t WHERE grp = 2")
+        before = db.execute("SELECT id, name FROM t ORDER BY id")
+        db.table("t").optimize()
+        assert db.execute("SELECT id, name FROM t ORDER BY id") == before
+
+    def test_optimize_rebuilds_zone_maps(self, db):
+        db.execute("DELETE FROM t WHERE id < 38")
+        db.table("t").optimize()
+        entries = db.table("t")._files["id"].zone_entries()
+        assert len(entries) == 1
+        assert entries[0][2:4] == (38.0, 39.0)
+
+    def test_optimize_noop_when_clean(self, db):
+        assert db.table("t").optimize() == 0
+
+    def test_queries_after_optimize(self, db):
+        db.execute("DELETE FROM t WHERE id >= 10")
+        db.table("t").optimize()
+        db.execute("INSERT INTO t VALUES (100, 0, 'new')")
+        rows = db.execute("SELECT id FROM t WHERE id >= 50")
+        assert [r["id"] for r in rows] == [100]

@@ -1,0 +1,104 @@
+"""Tests for engine maintenance: defragmentation and fsck."""
+
+import random
+
+import pytest
+
+from repro.core.engine import CompressDB
+
+
+@pytest.fixture
+def fragmented():
+    """An engine whose file accumulated holes from unaligned edits."""
+    engine = CompressDB(block_size=64, page_capacity=4)
+    engine.create("/f")
+    engine.ops.append("/f", bytes(range(256)))
+    rng = random.Random(2)
+    for __ in range(15):
+        size = engine.file_size("/f")
+        if rng.random() < 0.5:
+            engine.ops.insert("/f", rng.randrange(size), b"frag" * rng.randrange(1, 4))
+        else:
+            offset = rng.randrange(size)
+            engine.ops.delete("/f", offset, rng.randrange(min(30, size - offset)))
+    return engine
+
+
+class TestDefragment:
+    def test_content_preserved(self, fragmented):
+        before = fragmented.read_file("/f")
+        fragmented.defragment("/f")
+        assert fragmented.read_file("/f") == before
+        fragmented.check_invariants()
+
+    def test_holes_removed(self, fragmented):
+        assert fragmented.inode("/f").hole_slots > 1
+        fragmented.defragment("/f")
+        # Only the final partial block may carry a hole afterwards.
+        assert fragmented.inode("/f").hole_slots <= 1
+
+    def test_slots_reduced(self, fragmented):
+        before = fragmented.inode("/f").num_slots
+        saved = fragmented.defragment("/f")
+        assert saved >= 0
+        assert fragmented.inode("/f").num_slots == before - saved
+
+    def test_shared_blocks_survive(self):
+        engine = CompressDB(block_size=64)
+        block = b"S" * 64
+        engine.write_file("/a", block * 4)
+        engine.write_file("/b", block * 4)
+        engine.ops.insert("/a", 10, b"holes!")
+        engine.defragment("/a")
+        assert engine.read_file("/b") == block * 4
+        engine.check_invariants()
+
+    def test_defragment_empty_file(self):
+        engine = CompressDB(block_size=64)
+        engine.create("/empty")
+        assert engine.defragment("/empty") == 0
+
+    def test_defragment_improves_physical_density(self, fragmented):
+        logical = fragmented.logical_bytes()
+        fragmented.defragment("/f")
+        # After packing, physical blocks hold at least as much data as
+        # block-rounded logical size requires.
+        max_blocks = -(-logical // fragmented.block_size)
+        assert fragmented.inode("/f").num_slots == max_blocks
+
+
+class TestFsck:
+    def test_clean_engine_reports_zero_repairs(self, fragmented):
+        report = fragmented.fsck()
+        assert report["refcounts_fixed"] == 0
+        assert report["blocks_reclaimed"] == 0
+        assert report["index_entries"] == fragmented.physical_data_blocks()
+
+    def test_repairs_corrupted_refcount(self, fragmented):
+        block = fragmented.inode("/f").slot_at(0).block_no
+        fragmented.refcount.set(block, 99)
+        report = fragmented.fsck()
+        assert report["refcounts_fixed"] >= 1
+        fragmented.check_invariants()
+
+    def test_reclaims_leaked_block(self):
+        engine = CompressDB(block_size=64)
+        engine.write_file("/f", b"data" * 30)
+        # Simulate a leak: an allocated, refcounted block nobody points at.
+        leaked = engine.device.allocate()
+        engine.device.write_block(leaked, b"orphan")
+        engine.refcount.set(leaked, 1)
+        report = engine.fsck()
+        assert report["blocks_reclaimed"] == 1
+        engine.check_invariants()
+
+    def test_rebuilds_hashtable(self, fragmented):
+        fragmented.hashtable.clear()
+        fragmented.fsck()
+        fragmented.check_invariants()  # includes hashtable resolvability
+
+    def test_engine_usable_after_fsck(self, fragmented):
+        before = fragmented.read_file("/f")
+        fragmented.fsck()
+        fragmented.ops.append("/f", b"more data")
+        assert fragmented.read_file("/f") == before + b"more data"

@@ -1,0 +1,126 @@
+"""Differential property test: both file systems vs a Python model.
+
+The adaptability claim of the paper rests on CompressFS being
+observationally identical to a plain file system through the VFS.
+This stateful test drives PassthroughFS, CompressFS, and a plain
+``dict[str, bytearray]`` model through one random operation stream and
+requires every observable result (reads, sizes, listings, errors) to
+agree — while CompressFS's internal invariants keep holding.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.fs import CompressFS, FileNotFound, PassthroughFS
+from repro.fs.overlay_lz4 import CompressedOverlayFS
+
+_NAMES = st.sampled_from(["/a", "/b", "/dir/c", "/dir/d"])
+_DATA = st.binary(max_size=150)
+
+
+class FSDifferential(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.plain = PassthroughFS(block_size=32)
+        self.compress = CompressFS(block_size=32, page_capacity=3)
+        self.overlay = CompressedOverlayFS(
+            PassthroughFS(block_size=32), segment_bytes=64
+        )
+        self.model: dict[str, bytearray] = {}
+
+    def _both(self):
+        return (self.plain, self.compress, self.overlay)
+
+    @rule(path=_NAMES, data=_DATA)
+    def write_file(self, path, data):
+        for fs in self._both():
+            fs.write_file(path, data)
+        self.model[path] = bytearray(data)
+
+    @rule(path=_NAMES, data=_DATA, position=st.floats(0, 1.2))
+    def pwrite(self, path, data, position):
+        if path not in self.model:
+            return
+        offset = int(position * (len(self.model[path]) + 1))
+        for fs in self._both():
+            fs._pwrite(path, offset, data)
+        if not data:
+            return  # POSIX: zero-length writes never extend the file
+        reference = self.model[path]
+        if offset > len(reference):
+            reference.extend(b"\x00" * (offset - len(reference)))
+        reference[offset : offset + len(data)] = data
+
+    @rule(path=_NAMES, data=_DATA)
+    def append(self, path, data):
+        if path not in self.model:
+            return
+        for fs in self._both():
+            fs.append_file(path, data)
+        self.model[path].extend(data)
+
+    @rule(path=_NAMES, position=st.floats(0, 1.2))
+    def truncate(self, path, position):
+        if path not in self.model:
+            return
+        size = int(position * (len(self.model[path]) + 8))
+        for fs in self._both():
+            fs.truncate(path, size)
+        reference = self.model[path]
+        if size < len(reference):
+            del reference[size:]
+        else:
+            reference.extend(b"\x00" * (size - len(reference)))
+
+    @rule(path=_NAMES)
+    def unlink(self, path):
+        if path not in self.model:
+            for fs in self._both():
+                try:
+                    fs.unlink(path)
+                    raise AssertionError("unlink of missing path must fail")
+                except FileNotFound:
+                    pass
+            return
+        for fs in self._both():
+            fs.unlink(path)
+        del self.model[path]
+
+    @rule(path=_NAMES, position=st.floats(0, 1.2), size=st.integers(0, 120))
+    def pread(self, path, position, size):
+        if path not in self.model:
+            return
+        offset = int(position * (len(self.model[path]) + 1))
+        expected = bytes(self.model[path][offset : offset + size])
+        for fs in self._both():
+            assert fs._pread(path, offset, size) == expected
+
+    @invariant()
+    def whole_files_match(self):
+        for path, reference in self.model.items():
+            for fs in self._both():
+                assert fs.read_file(path) == bytes(reference)
+                assert fs.stat(path).size == len(reference)
+
+    @invariant()
+    def listings_match(self):
+        expected = sorted(self.model)
+        for fs in self._both():
+            assert fs.listdir() == expected
+
+    @invariant()
+    def compressfs_invariants_hold(self):
+        self.compress.engine.check_invariants()
+
+    @invariant()
+    def compressfs_never_stores_more_unique_blocks(self):
+        # Dedup can only reduce the distinct-block count.
+        plain_blocks = self.plain.physical_bytes()
+        compress_blocks = self.compress.physical_bytes()
+        assert compress_blocks <= plain_blocks
+
+
+FSDifferentialTest = FSDifferential.TestCase
+FSDifferentialTest.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,125 @@
+"""Unit tests for blockHashTable."""
+
+import pytest
+
+from repro.core.hashtable import ENTRY_MEMORY_BYTES, BlockHashTable, hash_block
+
+
+class _FakeStore:
+    """Block-number -> content store standing in for the device."""
+
+    def __init__(self):
+        self.blocks: dict[int, bytes] = {}
+
+    def read(self, block_no: int) -> bytes:
+        return self.blocks[block_no]
+
+
+@pytest.fixture
+def store():
+    return _FakeStore()
+
+
+@pytest.fixture
+def table(store):
+    return BlockHashTable(reader=store.read, length=8)  # tiny: force collisions
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        assert hash_block(b"abc") == hash_block(b"abc")
+
+    def test_content_sensitive(self):
+        assert hash_block(b"abc") != hash_block(b"abd")
+
+    def test_64_bit_range(self):
+        value = hash_block(b"anything")
+        assert 0 <= value < 2**64
+
+
+class TestRecords:
+    def test_find_duplicate_of_recorded_block(self, table, store):
+        store.blocks[5] = b"content"
+        table.add_record(5, b"content")
+        assert table.find_duplicate(b"content") == 5
+
+    def test_find_duplicate_misses_unknown_content(self, table, store):
+        store.blocks[5] = b"content"
+        table.add_record(5, b"content")
+        assert table.find_duplicate(b"other") is None
+
+    def test_duplicate_registration_rejected(self, table, store):
+        store.blocks[1] = b"x"
+        table.add_record(1, b"x")
+        with pytest.raises(KeyError):
+            table.add_record(1, b"x")
+
+    def test_delete_record(self, table, store):
+        store.blocks[1] = b"x"
+        table.add_record(1, b"x")
+        table.delete_record(1)
+        assert table.find_duplicate(b"x") is None
+        assert 1 not in table
+
+    def test_delete_unknown_record_raises(self, table):
+        with pytest.raises(KeyError):
+            table.delete_record(42)
+
+    def test_membership(self, table, store):
+        store.blocks[3] = b"m"
+        table.add_record(3, b"m")
+        assert 3 in table
+        assert 4 not in table
+
+
+class TestCollisions:
+    def test_collisions_resolved_by_content_comparison(self, store):
+        # length=1 puts every record in one bucket.
+        table = BlockHashTable(reader=store.read, length=1)
+        for block_no in range(10):
+            content = b"block-%d" % block_no
+            store.blocks[block_no] = content
+            table.add_record(block_no, content)
+        for block_no in range(10):
+            assert table.find_duplicate(b"block-%d" % block_no) == block_no
+        table.check_invariants()
+
+    def test_probe_comparisons_counted(self, store):
+        table = BlockHashTable(reader=store.read, length=4)
+        store.blocks[0] = b"a"
+        table.add_record(0, b"a")
+        table.find_duplicate(b"a")
+        assert table.probe_comparisons >= 1
+
+
+class TestAccounting:
+    def test_len_tracks_entries(self, table, store):
+        for i in range(5):
+            store.blocks[i] = b"%d" % i
+            table.add_record(i, b"%d" % i)
+        assert len(table) == 5
+        table.delete_record(2)
+        assert len(table) == 4
+
+    def test_memory_estimate(self, table, store):
+        store.blocks[0] = b"a"
+        table.add_record(0, b"a")
+        assert table.memory_bytes() == ENTRY_MEMORY_BYTES
+
+    def test_load_factor(self, store):
+        table = BlockHashTable(reader=store.read, length=10)
+        store.blocks[0] = b"a"
+        table.add_record(0, b"a")
+        assert table.load_factor() == pytest.approx(0.1)
+
+    def test_clear_drops_everything(self, table, store):
+        store.blocks[0] = b"a"
+        table.add_record(0, b"a")
+        table.clear()
+        assert len(table) == 0
+        assert table.find_duplicate(b"a") is None
+        table.check_invariants()
+
+    def test_invalid_length_rejected(self, store):
+        with pytest.raises(ValueError):
+            BlockHashTable(reader=store.read, length=0)

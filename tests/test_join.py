@@ -1,0 +1,112 @@
+"""Tests for the SQL inner equi-join."""
+
+import pytest
+
+from repro.databases.minisql import MiniSQL, TableError
+from repro.databases.sql_parser import JoinClause, parse
+from repro.fs import CompressFS, PassthroughFS
+
+
+class TestParsing:
+    def test_join_clause(self):
+        statement = parse(
+            "SELECT name, total FROM users JOIN orders ON users.id = orders.user_id"
+        )
+        assert statement.join == JoinClause("orders", "users.id", "orders.user_id")
+
+    def test_qualified_columns_in_projection(self):
+        statement = parse("SELECT users.name FROM users JOIN o ON users.id = o.uid")
+        assert statement.items[0].expr.name == "users.name"
+
+    def test_join_with_where_group_order(self):
+        statement = parse(
+            "SELECT city, sum(total) t FROM users JOIN orders ON users.id = orders.user_id "
+            "WHERE total > 5 GROUP BY city ORDER BY t DESC"
+        )
+        assert statement.join is not None
+        assert statement.where is not None
+        assert statement.group_by
+
+
+@pytest.fixture(params=["passthrough", "compress"])
+def db(request):
+    fs = PassthroughFS(block_size=256) if request.param == "passthrough" else CompressFS(block_size=256)
+    database = MiniSQL(fs, page_size=512)
+    database.execute("CREATE TABLE users (id INT PRIMARY KEY, name TEXT, city TEXT)")
+    database.execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, user_id INT, total REAL)"
+    )
+    people = [(1, "ann", "oslo"), (2, "bo", "lima"), (3, "cy", "oslo"), (4, "di", "kyiv")]
+    for uid, name, city in people:
+        database.execute(f"INSERT INTO users VALUES ({uid}, '{name}', '{city}')")
+    orders = [(10, 1, 5.0), (11, 1, 7.5), (12, 2, 2.0), (13, 3, 9.0), (14, 99, 1.0)]
+    for oid, uid, total in orders:
+        database.execute(f"INSERT INTO orders VALUES ({oid}, {uid}, {total})")
+    return database
+
+
+class TestExecution:
+    def test_basic_join(self, db):
+        rows = db.execute(
+            "SELECT name, total FROM users JOIN orders ON users.id = orders.user_id "
+            "ORDER BY total"
+        )
+        assert rows == [
+            {"name": "bo", "total": 2.0},
+            {"name": "ann", "total": 5.0},
+            {"name": "ann", "total": 7.5},
+            {"name": "cy", "total": 9.0},
+        ]
+
+    def test_unmatched_rows_excluded(self, db):
+        rows = db.execute(
+            "SELECT oid FROM orders JOIN users ON orders.user_id = users.id"
+        )
+        assert {row["oid"] for row in rows} == {10, 11, 12, 13}  # oid 14 dangles
+
+    def test_join_condition_order_irrelevant(self, db):
+        forward = db.execute(
+            "SELECT oid FROM orders JOIN users ON orders.user_id = users.id ORDER BY oid"
+        )
+        swapped = db.execute(
+            "SELECT oid FROM orders JOIN users ON users.id = orders.user_id ORDER BY oid"
+        )
+        assert forward == swapped
+
+    def test_qualified_projection(self, db):
+        rows = db.execute(
+            "SELECT users.id, orders.oid FROM users JOIN orders "
+            "ON users.id = orders.user_id ORDER BY orders.oid"
+        )
+        assert rows[0] == {"id": 1, "oid": 10}
+
+    def test_join_with_where(self, db):
+        rows = db.execute(
+            "SELECT name FROM users JOIN orders ON users.id = orders.user_id "
+            "WHERE total >= 7"
+        )
+        assert sorted(row["name"] for row in rows) == ["ann", "cy"]
+
+    def test_join_with_group_by(self, db):
+        rows = db.execute(
+            "SELECT city, sum(total) t FROM users JOIN orders "
+            "ON users.id = orders.user_id GROUP BY city ORDER BY t DESC"
+        )
+        assert rows == [{"city": "oslo", "t": 21.5}, {"city": "lima", "t": 2.0}]
+
+    def test_bad_join_column_rejected(self, db):
+        with pytest.raises(TableError):
+            db.execute("SELECT * FROM users JOIN orders ON users.nope = orders.user_id")
+
+    def test_join_wrong_tables_rejected(self, db):
+        db.execute("CREATE TABLE other (x INT PRIMARY KEY)")
+        with pytest.raises(TableError):
+            db.execute("SELECT * FROM users JOIN orders ON other.x = orders.user_id")
+
+    def test_many_to_many(self, db):
+        db.execute("INSERT INTO orders VALUES (15, 1, 3.0)")
+        rows = db.execute(
+            "SELECT count(*) c FROM users JOIN orders ON users.id = orders.user_id "
+            "WHERE users.id = 1"
+        )
+        assert rows[0]["c"] == 3

@@ -1,0 +1,81 @@
+"""Unit and property tests for the KMP matcher."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.kmp import count_matches, failure_function, find_all
+
+
+def naive_find_all(text: bytes, pattern: bytes) -> list[int]:
+    if not pattern:
+        return []
+    out = []
+    start = text.find(pattern)
+    while start != -1:
+        out.append(start)
+        start = text.find(pattern, start + 1)
+    return out
+
+
+class TestFailureFunction:
+    def test_no_repeats(self):
+        assert failure_function(b"abcd") == [0, 0, 0, 0]
+
+    def test_full_prefix(self):
+        assert failure_function(b"aaaa") == [0, 1, 2, 3]
+
+    def test_mixed(self):
+        assert failure_function(b"ababc") == [0, 0, 1, 2, 0]
+
+
+class TestFindAll:
+    def test_single_match(self):
+        assert find_all(b"hello world", b"world") == [6]
+
+    def test_multiple_matches(self):
+        assert find_all(b"abcabcabc", b"abc") == [0, 3, 6]
+
+    def test_overlapping_matches_reported(self):
+        assert find_all(b"aaaa", b"aa") == [0, 1, 2]
+
+    def test_empty_pattern(self):
+        assert find_all(b"abc", b"") == []
+
+    def test_pattern_longer_than_text(self):
+        assert find_all(b"ab", b"abc") == []
+
+    def test_no_match(self):
+        assert find_all(b"abcdef", b"xyz") == []
+
+    def test_match_at_both_ends(self):
+        assert find_all(b"xyz-middle-xyz", b"xyz") == [0, 11]
+
+    def test_binary_content(self):
+        assert find_all(b"\x00\x01\x00\x01\x00", b"\x01\x00") == [1, 3]
+
+
+class TestCount:
+    def test_count_matches(self):
+        assert count_matches(b"banana", b"ana") == 2  # overlapping
+
+    def test_count_zero(self):
+        assert count_matches(b"banana", b"q") == 0
+
+
+@given(
+    text=st.binary(max_size=200),
+    pattern=st.binary(min_size=1, max_size=6),
+)
+def test_kmp_agrees_with_naive_search(text, pattern):
+    assert find_all(text, pattern) == naive_find_all(text, pattern)
+
+
+@given(data=st.data())
+def test_kmp_finds_planted_occurrences(data):
+    """Every planted copy of the pattern is reported."""
+    pattern = data.draw(st.binary(min_size=1, max_size=5))
+    pieces = data.draw(st.lists(st.binary(max_size=8), min_size=1, max_size=6))
+    text = pattern.join(pieces)
+    matches = find_all(text, pattern)
+    assert matches == naive_find_all(text, pattern)
+    # At least the number of explicit joins must be found.
+    assert len(matches) >= len(pieces) - 1

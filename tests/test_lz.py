@@ -1,0 +1,119 @@
+"""Tests for the LZ4- and Snappy-format codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    CorruptStream,
+    IdentityCodec,
+    LZ4Codec,
+    SnappyCodec,
+    lz4_compress,
+    lz4_decompress,
+    snappy_compress,
+    snappy_decompress,
+)
+
+
+CASES = [
+    b"",
+    b"a",
+    b"abcd",
+    b"aaaaaaaaaaaaaaaaaaaaaaaa",
+    b"the quick brown fox " * 50,
+    bytes(range(256)),
+    bytes(range(256)) * 20,
+    b"\x00" * 1000,
+    b"ab" * 3 + b"unique tail",
+]
+
+
+@pytest.mark.parametrize("data", CASES)
+def test_lz4_roundtrip(data):
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+@pytest.mark.parametrize("data", CASES)
+def test_snappy_roundtrip(data):
+    assert snappy_decompress(snappy_compress(data)) == data
+
+
+class TestRatios:
+    def test_redundant_text_compresses(self):
+        data = b"repetition pays off. " * 500
+        assert len(lz4_compress(data)) < len(data) / 5
+        assert len(snappy_compress(data)) < len(data) / 3
+
+    def test_random_bytes_do_not_explode(self):
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for __ in range(4096))
+        assert len(lz4_compress(data)) < len(data) * 1.1
+        assert len(snappy_compress(data)) < len(data) * 1.1
+
+    def test_self_overlapping_match(self):
+        """RLE-style data exercises the overlapping-copy decode path."""
+        data = b"x" * 10000
+        compressed = lz4_compress(data)
+        assert len(compressed) < 100
+        assert lz4_decompress(compressed) == data
+
+
+class TestCorruption:
+    def test_lz4_truncated_literals(self):
+        compressed = lz4_compress(b"hello world, hello world, hello")
+        with pytest.raises(CorruptStream):
+            lz4_decompress(compressed[:3])
+
+    def test_lz4_bad_offset(self):
+        # token: 0 literals + match of 4 at offset 0 (invalid).
+        with pytest.raises(CorruptStream):
+            lz4_decompress(bytes([0x00, 0x00, 0x00]))
+
+    def test_snappy_length_mismatch(self):
+        compressed = bytearray(snappy_compress(b"abcdef"))
+        compressed[0] ^= 0x7F  # clobber the uvarint length header
+        with pytest.raises(CorruptStream):
+            snappy_decompress(bytes(compressed))
+
+    def test_snappy_truncated(self):
+        compressed = snappy_compress(b"hello hello hello hello")
+        with pytest.raises(CorruptStream):
+            snappy_decompress(compressed[: len(compressed) // 2])
+
+
+class TestCodecObjects:
+    def test_identity_codec(self):
+        codec = IdentityCodec()
+        assert codec.compress(b"x") == b"x"
+        assert codec.decompress(b"x") == b"x"
+        assert codec.ratio(b"") == 1.0
+
+    def test_lz4_codec_ratio(self):
+        codec = LZ4Codec()
+        assert codec.ratio(b"abab" * 100) > 2.0
+
+    def test_codec_names(self):
+        assert LZ4Codec().name == "lz4"
+        assert SnappyCodec().name == "snappy"
+        assert IdentityCodec().name == "identity"
+
+
+@given(st.binary(max_size=2000))
+@settings(max_examples=150, deadline=None)
+def test_lz4_roundtrip_property(data):
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+@given(st.binary(max_size=2000))
+@settings(max_examples=150, deadline=None)
+def test_snappy_roundtrip_property(data):
+    assert snappy_decompress(snappy_compress(data)) == data
+
+
+@given(st.lists(st.sampled_from([b"abc", b"defg", b"\x00\x01"]), max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_lz4_roundtrip_repetitive_property(pieces):
+    data = b"".join(pieces)
+    assert lz4_decompress(lz4_compress(data)) == data

@@ -1,0 +1,101 @@
+"""Tests for MiniMongo secondary field indexes."""
+
+import pytest
+
+from repro.databases.common import DatabaseError
+from repro.databases.minimongo import MiniMongo
+from repro.fs import CompressFS, PassthroughFS
+
+
+@pytest.fixture
+def collection():
+    db = MiniMongo(PassthroughFS(block_size=256))
+    col = db["people"]
+    for i in range(60):
+        col.insert_one({"_id": f"p{i}", "city": ["oslo", "lima", "kyiv"][i % 3], "age": i % 20})
+    return col
+
+
+class TestIndexManagement:
+    def test_create_and_list(self, collection):
+        collection.create_index("city")
+        assert collection.index_information() == ["city"]
+
+    def test_id_index_rejected(self, collection):
+        with pytest.raises(DatabaseError):
+            collection.create_index("_id")
+
+    def test_create_twice_is_idempotent(self, collection):
+        collection.create_index("city")
+        collection.create_index("city")
+        assert collection.index_information() == ["city"]
+
+    def test_drop(self, collection):
+        collection.create_index("city")
+        collection.drop_index("city")
+        assert collection.index_information() == []
+        with pytest.raises(DatabaseError):
+            collection.drop_index("city")
+
+    def test_definitions_survive_reopen(self, collection):
+        collection.create_index("city")
+        reopened = MiniMongo(collection.fs)["people"]
+        assert reopened.index_information() == ["city"]
+        assert len(list(reopened.find({"city": "oslo"}))) == 20
+
+
+class TestIndexedQueries:
+    def test_results_match_scan(self, collection):
+        before = sorted(doc["_id"] for doc in collection.find({"city": "lima"}))
+        collection.create_index("city")
+        after = sorted(doc["_id"] for doc in collection.find({"city": "lima"}))
+        assert before == after
+
+    def test_find_one_uses_index(self, collection):
+        collection.create_index("age")
+        doc = collection.find_one({"age": 7})
+        assert doc is not None and doc["age"] == 7
+
+    def test_compound_query_filters_exactly(self, collection):
+        collection.create_index("city")
+        docs = list(collection.find({"city": "oslo", "age": {"$lt": 5}}))
+        assert docs and all(d["city"] == "oslo" and d["age"] < 5 for d in docs)
+
+    def test_operator_query_skips_index(self, collection):
+        collection.create_index("age")
+        docs = list(collection.find({"age": {"$gte": 18}}))
+        assert len(docs) == sum(1 for i in range(60) if i % 20 >= 18)
+
+    def test_count_documents(self, collection):
+        collection.create_index("city")
+        assert collection.count_documents({"city": "kyiv"}) == 20
+
+
+class TestIndexMaintenance:
+    def test_insert_updates_index(self, collection):
+        collection.create_index("city")
+        collection.insert_one({"_id": "new", "city": "quito"})
+        assert collection.find_one({"city": "quito"})["_id"] == "new"
+
+    def test_update_moves_index_entry(self, collection):
+        collection.create_index("city")
+        collection.update_one({"_id": "p0"}, {"$set": {"city": "milan"}})
+        assert collection.find_one({"city": "milan"})["_id"] == "p0"
+        assert all(d["_id"] != "p0" for d in collection.find({"city": "oslo"}))
+
+    def test_replace_moves_index_entry(self, collection):
+        collection.create_index("city")
+        collection.replace_one({"_id": "p1"}, {"city": "tunis"})
+        assert collection.find_one({"city": "tunis"})["_id"] == "p1"
+
+    def test_delete_removes_index_entry(self, collection):
+        collection.create_index("city")
+        collection.delete_one({"_id": "p2"})
+        assert all(d["_id"] != "p2" for d in collection.find({"city": "kyiv"}))
+
+    def test_works_on_compressfs(self):
+        col = MiniMongo(CompressFS(block_size=256))["c"]
+        for i in range(30):
+            col.insert_one({"_id": f"d{i}", "tag": f"t{i % 4}"})
+        col.create_index("tag")
+        assert len(list(col.find({"tag": "t2"}))) == 7  # i = 2, 6, ..., 26

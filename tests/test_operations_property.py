@@ -1,0 +1,135 @@
+"""Property-based tests: the engine vs a plain-bytearray reference model.
+
+DESIGN.md invariant 1: any sequence of manipulations on a CompressFS
+file must read back identically to the same operations applied to a
+bytearray — while every internal invariant (refcounts, dedup, hole
+accounting) keeps holding.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.engine import CompressDB
+
+_PAYLOAD = st.binary(max_size=200)
+
+
+class EngineModel(RuleBasedStateMachine):
+    """Random op sequences against the engine and a bytearray twin."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = CompressDB(block_size=32, page_capacity=3)
+        self.engine.create("/f")
+        self.reference = bytearray()
+
+    @rule(data=_PAYLOAD)
+    def append(self, data):
+        self.engine.ops.append("/f", data)
+        self.reference.extend(data)
+
+    @rule(data=_PAYLOAD, position=st.floats(0, 1))
+    def insert(self, data, position):
+        offset = int(position * len(self.reference))
+        self.engine.ops.insert("/f", offset, data)
+        self.reference[offset:offset] = data
+
+    @rule(position=st.floats(0, 1), fraction=st.floats(0, 1))
+    def delete(self, position, fraction):
+        offset = int(position * len(self.reference))
+        length = int(fraction * (len(self.reference) - offset))
+        self.engine.ops.delete("/f", offset, length)
+        del self.reference[offset : offset + length]
+
+    @rule(data=_PAYLOAD, position=st.floats(0, 1))
+    def replace(self, data, position):
+        if not self.reference:
+            return
+        offset = int(position * len(self.reference))
+        data = data[: len(self.reference) - offset]
+        self.engine.ops.replace("/f", offset, data)
+        self.reference[offset : offset + len(data)] = data
+
+    @rule(data=_PAYLOAD, position=st.floats(0, 1.2))
+    def posix_write(self, data, position):
+        offset = int(position * (len(self.reference) + 1))
+        self.engine.write("/f", offset, data)
+        if not data:
+            return  # POSIX: zero-length writes never extend the file
+        if offset > len(self.reference):
+            self.reference.extend(b"\x00" * (offset - len(self.reference)))
+        self.reference[offset : offset + len(data)] = data
+
+    @rule(position=st.floats(0, 1.2))
+    def truncate(self, position):
+        size = int(position * (len(self.reference) + 8))
+        self.engine.truncate("/f", size)
+        if size < len(self.reference):
+            del self.reference[size:]
+        else:
+            self.reference.extend(b"\x00" * (size - len(self.reference)))
+
+    @invariant()
+    def contents_match(self):
+        assert self.engine.read_file("/f") == bytes(self.reference)
+
+    @invariant()
+    def engine_invariants_hold(self):
+        self.engine.check_invariants()
+
+    @invariant()
+    def size_matches(self):
+        assert self.engine.file_size("/f") == len(self.reference)
+
+
+EngineModelTest = EngineModel.TestCase
+EngineModelTest.settings = settings(max_examples=30, stateful_step_count=20, deadline=None)
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=80), min_size=1, max_size=8),
+    pattern=st.binary(min_size=1, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_search_matches_naive_find(chunks, pattern):
+    """DESIGN.md invariant 5: search == offsets of bytes.find."""
+    engine = CompressDB(block_size=16, page_capacity=3)
+    engine.create("/f")
+    for chunk in chunks:
+        engine.ops.append("/f", chunk)
+    data = b"".join(chunks)
+    expected = []
+    index = data.find(pattern)
+    while index != -1:
+        expected.append(index)
+        index = data.find(pattern, index + 1)
+    assert engine.ops.search("/f", pattern) == expected
+    assert engine.ops.count("/f", pattern) == len(expected)
+
+
+@given(
+    blocks=st.lists(st.sampled_from([b"A" * 16, b"B" * 16, b"C" * 16]), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_dedup_stores_each_distinct_block_once(blocks):
+    """DESIGN.md invariant 3: full dedup of identical blocks."""
+    engine = CompressDB(block_size=16, page_capacity=4)
+    engine.create("/f")
+    engine.ops.append("/f", b"".join(blocks))
+    assert engine.physical_data_blocks() == len(set(blocks))
+    engine.check_invariants()
+
+
+@given(
+    data=st.binary(min_size=1, max_size=300),
+    offsets=st.lists(st.floats(0, 1), min_size=1, max_size=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_extract_any_range_matches_slice(data, offsets):
+    engine = CompressDB(block_size=16, page_capacity=3)
+    engine.create("/f")
+    engine.ops.append("/f", data)
+    for fraction in offsets:
+        offset = int(fraction * len(data))
+        size = len(data) - offset
+        assert engine.ops.extract("/f", offset, size) == data[offset : offset + size]

@@ -1,0 +1,124 @@
+"""Tests for the LZ4 segment-overlay file system."""
+
+import random
+
+import pytest
+
+from repro.compression.lz import SnappyCodec
+from repro.fs.compressfs import CompressFS
+from repro.fs.overlay_lz4 import CompressedOverlayFS
+from repro.fs.vfs import PassthroughFS
+
+
+@pytest.fixture(params=["passthrough", "compress"])
+def overlay(request):
+    if request.param == "passthrough":
+        backing = PassthroughFS(block_size=64)
+    else:
+        backing = CompressFS(block_size=64, page_capacity=3)
+    return CompressedOverlayFS(backing, segment_bytes=128)
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, overlay):
+        data = b"compressible content! " * 40
+        overlay.write_file("/f", data)
+        assert overlay.read_file("/f") == data
+
+    def test_partial_reads(self, overlay):
+        data = bytes(range(256)) * 4
+        overlay.write_file("/f", data)
+        assert overlay._pread("/f", 100, 300) == data[100:400]
+
+    def test_overwrite_within_segment(self, overlay):
+        overlay.write_file("/f", b"a" * 500)
+        overlay._pwrite("/f", 130, b"BBB")
+        expected = b"a" * 130 + b"BBB" + b"a" * 367
+        assert overlay.read_file("/f") == expected
+
+    def test_write_across_segments(self, overlay):
+        overlay.write_file("/f", b"x" * 400)
+        overlay._pwrite("/f", 120, b"Y" * 100)  # spans segment boundary at 128
+        data = overlay.read_file("/f")
+        assert data == b"x" * 120 + b"Y" * 100 + b"x" * 180
+
+    def test_extend_past_end(self, overlay):
+        overlay.write_file("/f", b"ab")
+        overlay._pwrite("/f", 200, b"far")
+        data = overlay.read_file("/f")
+        assert data == b"ab" + b"\x00" * 198 + b"far"
+
+    def test_truncate_shrink(self, overlay):
+        overlay.write_file("/f", b"0123456789" * 30)
+        overlay.truncate("/f", 135)
+        assert overlay.read_file("/f") == (b"0123456789" * 30)[:135]
+
+    def test_truncate_grow(self, overlay):
+        overlay.write_file("/f", b"ab")
+        overlay.truncate("/f", 10)
+        assert overlay.read_file("/f") == b"ab" + b"\x00" * 8
+
+
+class TestLogStructure:
+    def test_rewrites_trigger_compaction(self, overlay):
+        overlay.write_file("/f", b"seed" * 64)
+        for i in range(40):
+            overlay._pwrite("/f", 0, b"version-%02d" % i)
+        assert overlay.compactions > 0
+        assert overlay.read_file("/f").startswith(b"version-39")
+
+    def test_live_compressed_bytes_below_raw(self, overlay):
+        data = b"very repetitive data " * 100
+        overlay.write_file("/f", data)
+        assert overlay.live_compressed_bytes() < len(data) / 2
+
+    def test_unlink_releases_backing_file(self, overlay):
+        overlay.write_file("/f", b"data")
+        overlay.unlink("/f")
+        assert not overlay.exists("/f")
+        assert not overlay.backing.exists("/f")
+
+
+class TestModelEquivalence:
+    def test_random_ops_match_bytearray(self, overlay):
+        rng = random.Random(12)
+        reference = bytearray()
+        overlay.write_file("/f", b"")
+        for __ in range(60):
+            op = rng.randrange(3)
+            if op == 0:
+                payload = bytes(rng.randrange(97, 123) for __ in range(rng.randrange(200)))
+                offset = rng.randrange(len(reference) + 1)
+                overlay._pwrite("/f", offset, payload)
+                if offset > len(reference):
+                    reference.extend(b"\x00" * (offset - len(reference)))
+                reference[offset : offset + len(payload)] = payload
+            elif op == 1 and reference:
+                size = rng.randrange(len(reference) + 8)
+                overlay.truncate("/f", size)
+                if size < len(reference):
+                    del reference[size:]
+                else:
+                    reference.extend(b"\x00" * (size - len(reference)))
+            else:
+                offset = rng.randrange(len(reference) + 1)
+                length = rng.randrange(260)
+                assert overlay._pread("/f", offset, length) == bytes(
+                    reference[offset : offset + length]
+                )
+        assert overlay.read_file("/f") == bytes(reference)
+
+
+class TestCodecChoice:
+    def test_snappy_codec_works(self):
+        overlay = CompressedOverlayFS(
+            PassthroughFS(block_size=64), segment_bytes=128, codec=SnappyCodec()
+        )
+        data = b"snappy snappy snappy " * 50
+        overlay.write_file("/f", data)
+        assert overlay.read_file("/f") == data
+        assert overlay.live_compressed_bytes() < len(data)
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ValueError):
+            CompressedOverlayFS(PassthroughFS(block_size=64), segment_bytes=0)

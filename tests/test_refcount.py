@@ -1,0 +1,122 @@
+"""Unit tests for blockRefCount, including the persistent partition."""
+
+import pytest
+
+from repro.core.refcount import BlockRefCount
+from repro.storage.block_device import MemoryBlockDevice
+
+
+@pytest.fixture
+def refcount(device):
+    return BlockRefCount(device)
+
+
+class TestCounting:
+    def test_unknown_block_has_zero_count(self, refcount):
+        assert refcount.get(7) == 0
+
+    def test_incref(self, refcount):
+        assert refcount.incref(1) == 1
+        assert refcount.incref(1) == 2
+        assert refcount.get(1) == 2
+
+    def test_decref_to_zero_removes_entry(self, refcount):
+        refcount.incref(1)
+        assert refcount.decref(1) == 0
+        assert 1 not in refcount
+        assert len(refcount) == 0
+
+    def test_decref_of_unreferenced_block_raises(self, refcount):
+        with pytest.raises(ValueError):
+            refcount.decref(9)
+
+    def test_set_and_live_blocks(self, refcount):
+        refcount.set(3, 5)
+        refcount.set(4, 1)
+        refcount.set(4, 0)  # setting to zero drops the entry
+        assert refcount.live_blocks() == [3]
+
+    def test_set_negative_rejected(self, refcount):
+        with pytest.raises(ValueError):
+            refcount.set(1, -1)
+
+    def test_total_references(self, refcount):
+        refcount.set(1, 2)
+        refcount.set(2, 3)
+        assert refcount.total_references() == 5
+
+    def test_memory_estimate_grows_with_entries(self, refcount):
+        empty = refcount.memory_bytes()
+        refcount.set(1, 1)
+        assert refcount.memory_bytes() > empty
+
+
+class TestPersistence:
+    def test_persist_and_restore_roundtrip(self, device, refcount):
+        for block in range(20):
+            refcount.set(block, block + 1)
+        refcount.persist()
+        # Clobber the in-memory state, then restore from the partition.
+        for block in range(20):
+            refcount.set(block, 0)
+        refcount.restore()
+        assert all(refcount.get(block) == block + 1 for block in range(20))
+
+    def test_persist_spans_multiple_blocks(self):
+        device = MemoryBlockDevice(block_size=64)  # tiny partition blocks
+        refcount = BlockRefCount(device)
+        for block in range(50):
+            refcount.set(block, 2)
+        used = refcount.persist()
+        assert used > 1
+        refcount.restore()
+        assert len(refcount) == 50
+
+    def test_repersist_recycles_partition_blocks(self, device, refcount):
+        for block in range(10):
+            refcount.set(block, 1)
+        refcount.persist()
+        first = refcount.partition_block_count
+        refcount.persist()
+        assert refcount.partition_block_count == first
+
+    def test_shrinking_table_releases_partition_blocks(self):
+        device = MemoryBlockDevice(block_size=64)
+        refcount = BlockRefCount(device)
+        for block in range(50):
+            refcount.set(block, 1)
+        refcount.persist()
+        grown = refcount.partition_block_count
+        for block in range(45):
+            refcount.set(block, 0)
+        refcount.persist()
+        assert refcount.partition_block_count < grown
+        refcount.restore()
+        assert len(refcount) == 5
+
+    def test_empty_table_persists(self, refcount):
+        refcount.persist()
+        refcount.restore()
+        assert len(refcount) == 0
+
+
+class TestAdoptPartition:
+    def test_adopting_restores_from_foreign_handle(self, device):
+        original = BlockRefCount(device)
+        for block in range(8):
+            original.set(block, block + 1)
+        original.persist()
+        blocks = original.partition_blocks
+        # A fresh instance (as after a remount) adopts and restores.
+        fresh = BlockRefCount(device)
+        fresh.adopt_partition(blocks)
+        fresh.restore()
+        assert all(fresh.get(block) == block + 1 for block in range(8))
+
+    def test_partition_blocks_is_a_copy(self, device):
+        refcount = BlockRefCount(device)
+        refcount.set(1, 1)
+        refcount.persist()
+        blocks = refcount.partition_blocks
+        blocks.append(999)
+        assert 999 not in refcount.partition_blocks

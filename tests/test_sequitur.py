@@ -1,0 +1,130 @@
+"""Tests for Sequitur grammar inference."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tadoc.sequitur import (
+    Grammar,
+    RuleRef,
+    Sequitur,
+    compress,
+    compress_files,
+    split_files,
+    tokenize,
+)
+
+
+class TestBasics:
+    def test_empty_input(self):
+        grammar = compress([])
+        assert grammar.expand() == []
+
+    def test_single_token(self):
+        assert compress(["a"]).expand() == ["a"]
+
+    def test_no_repetition_stays_flat(self):
+        grammar = compress(list("abcdef"))
+        assert grammar.rule_count() == 1
+
+    def test_repeated_digram_forms_rule(self):
+        grammar = compress(list("abab"))
+        assert grammar.rule_count() == 2
+        grammar.check_invariants()
+
+    def test_classic_example(self):
+        # "abcabdabcabd" compresses hierarchically.
+        tokens = list("abcabdabcabd")
+        grammar = compress(tokens)
+        assert grammar.expand() == tokens
+        assert grammar.total_symbols() < len(tokens)
+        grammar.check_invariants()
+
+    def test_overlapping_run(self):
+        tokens = list("aaaa")
+        grammar = compress(tokens)
+        assert grammar.expand() == tokens
+        grammar.check_invariants()
+
+    def test_compression_shrinks_redundant_text(self):
+        tokens = tokenize("the cat sat on the mat " * 64)
+        grammar = compress(tokens)
+        assert grammar.total_symbols() < len(tokens) / 4
+
+    def test_tokenize_splits_on_whitespace(self):
+        assert tokenize("a  b\tc\nd") == ["a", "b", "c", "d"]
+
+
+class TestIncremental:
+    def test_feed_matches_batch(self):
+        tokens = list("xyxyxyzz")
+        seq = Sequitur()
+        for token in tokens:
+            seq.feed(token)
+        assert seq.grammar().expand() == tokens
+
+    def test_grammar_snapshot_is_stable(self):
+        seq = Sequitur()
+        seq.feed_many(list("abcabc"))
+        first = seq.grammar().expand()
+        second = seq.grammar().expand()
+        assert first == second == list("abcabc")
+
+
+class TestMultiFile:
+    def test_roundtrip_with_boundaries(self):
+        files = [tokenize("shared words here " * 5), tokenize("shared words there " * 5)]
+        grammar = compress_files(files)
+        assert split_files(grammar) == files
+
+    def test_cross_file_redundancy_exploited(self):
+        body = tokenize("identical content repeated often " * 10)
+        together = compress_files([body, body])
+        separate = compress(body)
+        # Compressing both files costs far less than twice one file.
+        assert together.total_symbols() < 2 * separate.total_symbols()
+
+    def test_single_file_has_no_boundary(self):
+        grammar = compress_files([["a", "b"]])
+        assert split_files(grammar) == [["a", "b"]]
+
+
+class TestGrammarObject:
+    def test_reference_counts(self):
+        grammar = compress(list("abab"))
+        counts = grammar.reference_counts()
+        non_root = [c for rid, c in counts.items() if rid != grammar.root]
+        assert all(count >= 2 for count in non_root)
+
+    def test_ruleref_equality_and_repr(self):
+        assert RuleRef(3) == RuleRef(3)
+        assert RuleRef(3) != RuleRef(4)
+        assert repr(RuleRef(3)) == "R3"
+        assert len({RuleRef(1), RuleRef(1)}) == 1
+
+    def test_invariant_checker_catches_underused_rule(self):
+        bad = Grammar(rules={0: [RuleRef(1)], 1: ["a", "b"]}, root=0)
+        try:
+            bad.check_invariants()
+        except AssertionError:
+            return
+        raise AssertionError("underused rule not detected")
+
+
+@given(st.lists(st.integers(0, 3), max_size=250))
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_random_sequences(tokens):
+    """DESIGN.md invariant 4: expansion inverts compression."""
+    grammar = compress(tokens)
+    assert grammar.expand() == tokens
+
+
+@given(st.lists(st.integers(0, 2), max_size=150))
+@settings(max_examples=100, deadline=None)
+def test_invariants_hold_on_random_sequences(tokens):
+    compress(tokens).check_invariants()
+
+
+@given(st.lists(st.lists(st.integers(0, 2), max_size=40), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_multifile_roundtrip_random(files):
+    grammar = compress_files(files)
+    assert split_files(grammar) == files

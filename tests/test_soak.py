@@ -1,0 +1,132 @@
+"""Soak tests: sustained mixed workloads with end-state verification.
+
+Each test runs a few hundred operations against a full stack
+(database → CompressFS → engine → device) and verifies both the
+observable results and every internal invariant at the end — the kind
+of longer-horizon consistency the short unit tests cannot see.
+"""
+
+import random
+
+from repro.databases import MiniColumn, MiniLevelDB, MiniMongo, MiniSQL
+from repro.fs import CompressFS
+from repro.workloads import generate_dataset
+
+
+class TestEngineSoak:
+    def test_hundreds_of_mixed_ops_on_many_files(self):
+        engine_fs = CompressFS(block_size=128, page_capacity=4)
+        engine = engine_fs.engine
+        rng = random.Random(77)
+        references: dict[str, bytearray] = {}
+        paths = [f"/f{i}" for i in range(6)]
+        for path in paths:
+            engine.create(path)
+            references[path] = bytearray()
+        corpus = generate_dataset("B", scale=0.02).concatenated()
+        for step in range(600):
+            path = rng.choice(paths)
+            reference = references[path]
+            op = rng.randrange(5)
+            start = rng.randrange(max(1, len(corpus) - 200))
+            payload = corpus[start : start + rng.randrange(1, 200)]
+            if op == 0:
+                engine.ops.append(path, payload)
+                reference.extend(payload)
+            elif op == 1 and reference:
+                offset = rng.randrange(len(reference) + 1)
+                engine.ops.insert(path, offset, payload)
+                reference[offset:offset] = payload
+            elif op == 2 and reference:
+                offset = rng.randrange(len(reference))
+                length = rng.randrange(len(reference) - offset + 1)
+                engine.ops.delete(path, offset, length)
+                del reference[offset : offset + length]
+            elif op == 3 and reference:
+                offset = rng.randrange(len(reference))
+                piece = payload[: len(reference) - offset]
+                engine.ops.replace(path, offset, piece)
+                reference[offset : offset + len(piece)] = piece
+            else:
+                size = engine.file_size(path)
+                if size:
+                    offset = rng.randrange(size)
+                    assert engine.ops.extract(path, offset, 64) == bytes(
+                        reference[offset : offset + 64]
+                    )
+            if step % 150 == 0:
+                engine.check_invariants()
+        for path in paths:
+            assert engine.read_file(path) == bytes(references[path])
+        engine.check_invariants()
+        # Sustained unaligned edits leave holes (ratio can drop below 1);
+        # defragmentation recovers the density without changing content.
+        ratio_before = engine.compression_ratio()
+        for path in paths:
+            engine.defragment(path)
+        assert engine.compression_ratio() > ratio_before
+        for path in paths:
+            assert engine.read_file(path) == bytes(references[path])
+        engine.check_invariants()
+
+    def test_remount_mid_soak(self):
+        engine = CompressFS(block_size=128).engine
+        engine.create("/f")
+        rng = random.Random(3)
+        reference = bytearray()
+        for round_no in range(6):
+            for __ in range(50):
+                payload = bytes(rng.randrange(97, 110) for __ in range(rng.randrange(1, 80)))
+                offset = rng.randrange(len(reference) + 1)
+                engine.ops.insert("/f", offset, payload)
+                reference[offset:offset] = payload
+            engine.remount()
+            assert engine.read_file("/f") == bytes(reference)
+            engine.check_invariants()
+
+
+class TestDatabaseSoak:
+    def test_all_four_databases_share_one_mount(self):
+        """Four engines on one CompressFS mount, interleaved."""
+        fs = CompressFS(block_size=512)
+        sql = MiniSQL(fs, directory="/sql")
+        kv = MiniLevelDB(fs, directory="/kv", memtable_limit=4096, l0_limit=3)
+        docs = MiniMongo(fs, directory="/docs")
+        col = MiniColumn(fs, directory="/col")
+        sql.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        col.execute("CREATE TABLE t (id INT, v INT)")
+        rng = random.Random(11)
+        sql_model: dict[int, str] = {}
+        kv_model: dict[bytes, bytes] = {}
+        doc_count = 0
+        col_rows = 0
+        for step in range(400):
+            which = rng.randrange(4)
+            if which == 0:
+                key = rng.randrange(50)
+                value = f"val-{step}"
+                if key in sql_model:
+                    sql.execute(f"UPDATE t SET v = '{value}' WHERE id = {key}")
+                else:
+                    sql.execute(f"INSERT INTO t VALUES ({key}, '{value}')")
+                sql_model[key] = value
+            elif which == 1:
+                key = b"k%03d" % rng.randrange(80)
+                value = b"v%05d" % step
+                kv.put(key, value)
+                kv_model[key] = value
+            elif which == 2:
+                docs["c"].insert_one({"n": step})
+                doc_count += 1
+            else:
+                col.execute(f"INSERT INTO t VALUES ({col_rows}, {step})")
+                col_rows += 1
+        # Verify each database's end state.
+        for key, value in sql_model.items():
+            assert sql.execute(f"SELECT v FROM t WHERE id = {key}") == [{"v": value}]
+        kv.close()
+        for key, value in kv_model.items():
+            assert kv.get(key) == value
+        assert docs["c"].count_documents() == doc_count
+        assert col.execute("SELECT count(*) c FROM t")[0]["c"] == col_rows
+        fs.engine.check_invariants()

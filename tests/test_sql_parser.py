@@ -1,0 +1,160 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.databases.sql_parser import (
+    BinaryOp,
+    Column,
+    CreateTable,
+    Delete,
+    FuncCall,
+    Insert,
+    Literal,
+    SQLSyntaxError,
+    Select,
+    Star,
+    UnaryOp,
+    Update,
+    parse,
+)
+
+
+class TestSelect:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM docs")
+        assert isinstance(statement, Select)
+        assert isinstance(statement.items[0].expr, Star)
+        assert statement.table == "docs"
+
+    def test_select_columns(self):
+        statement = parse("SELECT id, body FROM docs")
+        assert [item.expr for item in statement.items] == [Column("id"), Column("body")]
+
+    def test_where_equality(self):
+        statement = parse("SELECT * FROM t WHERE id = 5")
+        assert statement.where == BinaryOp("=", Column("id"), Literal(5))
+
+    def test_where_conjunction(self):
+        statement = parse("SELECT * FROM t WHERE a >= 1 AND b <= 2")
+        assert isinstance(statement.where, BinaryOp)
+        assert statement.where.op == "AND"
+
+    def test_alias(self):
+        statement = parse("SELECT sum(cnt) total FROM t")
+        assert statement.items[0].alias == "total"
+
+    def test_paper_range_scan_query(self):
+        statement = parse(
+            "select id, sum(cnt)/count(dt) avg_cnt from tbl "
+            "where idx >= 0 and idx <= 8 group by id order by avg_cnt desc;"
+        )
+        assert isinstance(statement, Select)
+        assert statement.group_by == (Column("id"),)
+        assert statement.order_by[0].descending
+        ratio = statement.items[1].expr
+        assert isinstance(ratio, BinaryOp) and ratio.op == "/"
+        assert ratio.left == FuncCall("sum", Column("cnt"))
+        assert ratio.right == FuncCall("count", Column("dt"))
+
+    def test_order_by_multiple(self):
+        statement = parse("SELECT * FROM t ORDER BY a ASC, b DESC")
+        assert not statement.order_by[0].descending
+        assert statement.order_by[1].descending
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 7").limit == 7
+
+    def test_count_star(self):
+        statement = parse("SELECT count(*) FROM t")
+        assert statement.items[0].expr == FuncCall("count", Star())
+
+    def test_string_literal_with_escape(self):
+        statement = parse("SELECT * FROM t WHERE name = 'O''Brien'")
+        assert statement.where.right == Literal("O'Brien")
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT a + b * c FROM t")
+        expr = statement.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        statement = parse("SELECT (a + b) * c FROM t")
+        expr = statement.items[0].expr
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_not_operator(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, UnaryOp)
+        assert statement.where.op == "NOT"
+
+    def test_or_binds_looser_than_and(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert statement.where.op == "OR"
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        statement = parse("CREATE TABLE t (id INT PRIMARY KEY, body TEXT, score REAL)")
+        assert isinstance(statement, CreateTable)
+        assert statement.columns[0].primary_key
+        assert [c.type_name for c in statement.columns] == ["INT", "TEXT", "REAL"]
+
+    def test_type_aliases(self):
+        statement = parse("CREATE TABLE t (a INTEGER, b VARCHAR, c FLOAT)")
+        assert [c.type_name for c in statement.columns] == ["INT", "TEXT", "REAL"]
+
+    def test_insert_positional(self):
+        statement = parse("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert statement.rows == ((Literal(1), Literal("x")), (Literal(2), Literal("y")))
+
+    def test_insert_with_columns(self):
+        statement = parse("INSERT INTO t (id, body) VALUES (1, 'x')")
+        assert statement.columns == ("id", "body")
+
+    def test_insert_negative_and_null(self):
+        statement = parse("INSERT INTO t VALUES (-5, NULL, 2.5)")
+        assert statement.rows[0] == (Literal(-5), Literal(None), Literal(2.5))
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(statement, Update)
+        assert statement.assignments[0] == ("a", Literal(1))
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE id < 10")
+        assert isinstance(statement, Delete)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELEC * FROM t",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "INSERT INTO t",
+            "CREATE TABLE t ()",
+            "CREATE TABLE t (a BLOB)",
+            "SELECT unknown_func(a) FROM t",
+            "SELECT * FROM t LIMIT x",
+            "SELECT * FROM t; SELECT * FROM u",
+            "SELECT * FROM t WHERE a = $",
+        ],
+    )
+    def test_rejects_bad_sql(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse(sql)
+
+    def test_error_message_has_position(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            parse("SELECT * FROM t WHERE a ==")
+        assert "near" in str(info.value)

@@ -1,0 +1,148 @@
+"""Tests for the suffix array and the Succinct comparison store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.succinct import (
+    SuccinctStore,
+    UnsupportedOperation,
+    build_lcp,
+    build_suffix_array,
+    count_occurrences,
+    find_occurrences,
+    longest_repeated_substring,
+    suffix_range,
+)
+
+
+def naive_suffix_array(data: bytes) -> list[int]:
+    return sorted(range(len(data)), key=lambda i: data[i:])
+
+
+def naive_occurrences(data: bytes, pattern: bytes) -> list[int]:
+    return [
+        i for i in range(len(data)) if data[i : i + len(pattern)] == pattern
+    ]
+
+
+class TestSuffixArray:
+    def test_empty(self):
+        assert build_suffix_array(b"") == []
+
+    def test_single_byte(self):
+        assert build_suffix_array(b"z") == [0]
+
+    def test_banana(self):
+        assert build_suffix_array(b"banana") == naive_suffix_array(b"banana")
+
+    def test_all_equal(self):
+        assert build_suffix_array(b"aaaa") == [3, 2, 1, 0]
+
+    def test_large_input_uses_doubling(self):
+        data = (b"mississippi river " * 40)[:600]
+        assert build_suffix_array(data) == naive_suffix_array(data)
+
+    def test_lcp_kasai(self):
+        data = b"banana"
+        sa = build_suffix_array(data)
+        lcp = build_lcp(data, sa)
+        # Verify against the definition.
+        for i in range(1, len(sa)):
+            a, b = data[sa[i - 1] :], data[sa[i] :]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[i] == common
+        assert lcp[0] == 0
+
+    def test_suffix_range_bounds(self):
+        data = b"abracadabra"
+        sa = build_suffix_array(data)
+        lo, hi = suffix_range(data, sa, b"abra")
+        assert hi - lo == 2
+
+    def test_count_and_find(self):
+        data = b"abracadabra"
+        sa = build_suffix_array(data)
+        assert count_occurrences(data, sa, b"a") == 5
+        assert find_occurrences(data, sa, b"abra") == [0, 7]
+
+    def test_longest_repeated_substring(self):
+        assert longest_repeated_substring(b"abcabc") == b"abc"
+        assert longest_repeated_substring(b"abcd") == b""
+        assert longest_repeated_substring(b"") == b""
+
+
+class TestSuccinctStore:
+    @pytest.fixture
+    def store(self):
+        return SuccinctStore(b"to be or not to be, that is the question", chunk_size=8)
+
+    def test_extract(self, store):
+        assert store.extract(0, 5) == b"to be"
+        assert store.extract(32, 8) == b"question"
+
+    def test_extract_beyond_end(self, store):
+        assert store.extract(store.size - 2, 100) == b"on"
+        assert store.extract(store.size, 5) == b""
+
+    def test_extract_validates(self, store):
+        with pytest.raises(ValueError):
+            store.extract(-1, 2)
+
+    def test_count(self, store):
+        assert store.count(b"to be") == 2
+        assert store.count(b"zebra") == 0
+        assert store.count(b"") == 0
+
+    def test_search(self, store):
+        assert store.search(b"to be") == [0, 13]
+        assert store.search(b"") == []
+
+    def test_manipulation_unsupported(self, store):
+        with pytest.raises(UnsupportedOperation):
+            store.insert(0, b"x")
+        with pytest.raises(UnsupportedOperation):
+            store.delete(0, 1)
+        with pytest.raises(UnsupportedOperation):
+            store.replace(0, b"x")
+
+    def test_rebuild_is_the_update_path(self, store):
+        new = SuccinctStore.rebuild(b"fresh content")
+        assert new.extract(0, 5) == b"fresh"
+
+    def test_compression_accounting(self):
+        data = b"redundant redundant redundant " * 100
+        store = SuccinctStore(data, chunk_size=1024)
+        assert store.compressed_bytes() > 0
+        assert store.compression_ratio() == pytest.approx(
+            store.size / store.compressed_bytes()
+        )
+
+    def test_serialize_contains_everything(self, store):
+        blob = store.serialize()
+        assert len(blob) >= store.compressed_bytes()
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            SuccinctStore(b"x", chunk_size=0)
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_suffix_array_matches_naive(data):
+    assert build_suffix_array(data) == naive_suffix_array(data)
+
+
+@given(st.binary(min_size=1, max_size=200), st.data())
+@settings(max_examples=100, deadline=None)
+def test_store_queries_match_naive(data, draw):
+    store = SuccinctStore(data, chunk_size=16)
+    pattern_start = draw.draw(st.integers(0, len(data) - 1))
+    pattern_len = draw.draw(st.integers(1, 5))
+    pattern = data[pattern_start : pattern_start + pattern_len]
+    assert store.search(pattern) == naive_occurrences(data, pattern)
+    assert store.count(pattern) == len(naive_occurrences(data, pattern))
+    offset = draw.draw(st.integers(0, len(data)))
+    size = draw.draw(st.integers(0, len(data)))
+    assert store.extract(offset, size) == data[offset : offset + size]

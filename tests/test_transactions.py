@@ -1,0 +1,147 @@
+"""Tests for MiniSQL transactions (BEGIN / COMMIT / ROLLBACK)."""
+
+import pytest
+
+from repro.databases.minisql import MiniSQL, TableError
+from repro.fs import CompressFS, PassthroughFS
+
+
+@pytest.fixture(params=["passthrough", "compress"])
+def db(request):
+    fs = PassthroughFS(block_size=256) if request.param == "passthrough" else CompressFS(block_size=256)
+    database = MiniSQL(fs, page_size=512)
+    database.execute("CREATE TABLE acc (id INT PRIMARY KEY, owner TEXT, balance INT)")
+    for i in range(10):
+        database.execute(f"INSERT INTO acc VALUES ({i}, 'u{i}', 100)")
+    return database
+
+
+def balances(db):
+    return {row["id"]: row["balance"] for row in db.execute("SELECT id, balance FROM acc")}
+
+
+class TestLifecycle:
+    def test_commit_keeps_changes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET balance = 0 WHERE id = 1")
+        db.execute("COMMIT")
+        assert balances(db)[1] == 0
+
+    def test_rollback_discards_changes(self, db):
+        before = balances(db)
+        db.execute("BEGIN TRANSACTION")
+        db.execute("UPDATE acc SET balance = 0 WHERE id = 1")
+        db.execute("INSERT INTO acc VALUES (99, 'x', 5)")
+        db.execute("DELETE FROM acc WHERE id = 2")
+        db.execute("ROLLBACK")
+        assert balances(db) == before
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TableError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TableError):
+            db.execute("COMMIT")
+
+    def test_rollback_without_begin_rejected(self, db):
+        with pytest.raises(TableError):
+            db.execute("ROLLBACK")
+
+    def test_ddl_inside_transaction_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TableError):
+            db.execute("CREATE TABLE other (a INT)")
+        with pytest.raises(TableError):
+            db.execute("CREATE INDEX i ON acc (owner)")
+        db.execute("ROLLBACK")
+
+
+class TestRollbackSemantics:
+    def test_reads_see_own_writes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET balance = 42 WHERE id = 3")
+        assert balances(db)[3] == 42  # visible inside the transaction
+        db.execute("ROLLBACK")
+        assert balances(db)[3] == 100
+
+    def test_transfer_rolls_back_atomically(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET balance = balance - 30 WHERE id = 4")
+        db.execute("UPDATE acc SET balance = balance + 30 WHERE id = 5")
+        db.execute("ROLLBACK")
+        state = balances(db)
+        assert state[4] == 100 and state[5] == 100
+
+    def test_multiple_updates_same_row_unwind(self, db):
+        db.execute("BEGIN")
+        for value in (1, 2, 3):
+            db.execute(f"UPDATE acc SET balance = {value} WHERE id = 6")
+        db.execute("ROLLBACK")
+        assert balances(db)[6] == 100
+
+    def test_insert_then_update_then_rollback(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO acc VALUES (50, 'new', 1)")
+        db.execute("UPDATE acc SET balance = 2 WHERE id = 50")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT * FROM acc WHERE id = 50") == []
+
+    def test_delete_then_rollback_restores_row(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM acc WHERE id = 7")
+        db.execute("ROLLBACK")
+        rows = db.execute("SELECT * FROM acc WHERE id = 7")
+        assert rows == [{"id": 7, "owner": "u7", "balance": 100}]
+
+    def test_rollback_restores_index_consistency(self, db):
+        db.execute("CREATE INDEX idx_owner ON acc (owner)")
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET owner = 'renamed' WHERE id = 1")
+        db.execute("DELETE FROM acc WHERE id = 2")
+        db.execute("INSERT INTO acc VALUES (60, 'fresh', 0)")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT id FROM acc WHERE owner = 'u1'") == [{"id": 1}]
+        assert db.execute("SELECT id FROM acc WHERE owner = 'u2'") == [{"id": 2}]
+        assert db.execute("SELECT id FROM acc WHERE owner = 'renamed'") == []
+        assert db.execute("SELECT id FROM acc WHERE owner = 'fresh'") == []
+
+    def test_second_transaction_after_rollback(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET balance = 0 WHERE id = 8")
+        db.execute("ROLLBACK")
+        db.execute("BEGIN")
+        db.execute("UPDATE acc SET balance = 55 WHERE id = 8")
+        db.execute("COMMIT")
+        assert balances(db)[8] == 55
+
+    def test_autocommit_outside_transactions(self, db):
+        db.execute("UPDATE acc SET balance = 1 WHERE id = 9")
+        assert balances(db)[9] == 1  # immediate, no BEGIN required
+
+
+class TestRandomisedRollback:
+    def test_random_transactions_leave_no_trace(self, db):
+        import random
+
+        rng = random.Random(12)
+        before = db.execute("SELECT * FROM acc")
+        db.execute("BEGIN")
+        next_key = 1000
+        for __ in range(40):
+            action = rng.random()
+            if action < 0.4:
+                db.execute(
+                    f"UPDATE acc SET balance = {rng.randrange(1000)} "
+                    f"WHERE id = {rng.randrange(10)}"
+                )
+            elif action < 0.7:
+                db.execute(f"INSERT INTO acc VALUES ({next_key}, 'r', 0)")
+                next_key += 1
+            else:
+                live = [row["id"] for row in db.execute("SELECT id FROM acc")]
+                db.execute(f"DELETE FROM acc WHERE id = {rng.choice(live)}")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT * FROM acc") == before

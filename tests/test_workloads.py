@@ -1,0 +1,202 @@
+"""Tests for dataset generation, query mixes, metrics, and filebench."""
+
+import pytest
+
+from repro.fs import CompressFS, PassthroughFS
+from repro.storage.simclock import SimClock
+from repro.storage.block_device import MemoryBlockDevice
+from repro.workloads import (
+    DATASET_SPECS,
+    LatencyRecorder,
+    QueryMixGenerator,
+    ReadOp,
+    WriteOp,
+    build_fileset,
+    generate_dataset,
+    generate_redundancy_sweep,
+    percentile,
+    run_fileserver,
+    structured_rows,
+    zipf_rank,
+)
+
+
+class TestDatasets:
+    def test_all_six_specs_present(self):
+        assert set(DATASET_SPECS) == set("ABCDEF")
+
+    def test_generation_is_deterministic(self):
+        first = generate_dataset("A", scale=0.05)
+        second = generate_dataset("A", scale=0.05)
+        assert first.files == second.files
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("A", scale=0.05, seed=1)
+        b = generate_dataset("A", scale=0.05, seed=2)
+        assert a.files != b.files
+
+    def test_file_count_matches_spec(self):
+        dataset = generate_dataset("E", scale=0.2)
+        assert dataset.file_count == DATASET_SPECS["E"].file_count
+
+    def test_scale_controls_size(self):
+        small = generate_dataset("D", scale=0.1)
+        large = generate_dataset("D", scale=0.3)
+        assert large.total_bytes > small.total_bytes * 2
+
+    def test_compressdb_ratio_ordering_matches_table2(self):
+        """Table 2's ordering: E < A < D < B < C < F (approximately)."""
+        ratios = {}
+        for name in "ABCDEF":
+            dataset = generate_dataset(name, scale=0.25)
+            fs = CompressFS(block_size=1024)
+            for path, data in dataset.files.items():
+                fs.write_file(path, data)
+            ratios[name] = fs.compression_ratio()
+        assert ratios["E"] < ratios["A"]
+        assert ratios["A"] < ratios["B"] < ratios["C"]
+        assert ratios["F"] > ratios["B"]
+
+    def test_blocks_are_block_sized(self):
+        dataset = generate_dataset("A", block_size=512, scale=0.05)
+        for data in dataset.files.values():
+            assert len(data) % 512 == 0
+
+    def test_redundancy_sweep_monotone(self):
+        ratios = []
+        for fraction in (0.0, 0.5, 0.9):
+            dataset = generate_redundancy_sweep(fraction, total_bytes=128 * 1024)
+            fs = CompressFS(block_size=1024)
+            for path, data in dataset.files.items():
+                fs.write_file(path, data)
+            ratios.append(fs.compression_ratio())
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_structured_rows_schema(self):
+        rows = structured_rows(10)
+        assert len(rows) == 10
+        assert set(rows[0]) == {"id", "idx", "cnt", "dt", "body"}
+
+
+class TestQueryGen:
+    @pytest.fixture
+    def generator(self):
+        return QueryMixGenerator(generate_dataset("E", scale=0.2), universe=50)
+
+    def test_mix_is_roughly_half_writes(self, generator):
+        ops = list(generator.operations(2000))
+        writes = sum(1 for op in ops if isinstance(op, WriteOp))
+        assert 0.45 < writes / len(ops) < 0.55
+
+    def test_keys_within_universe(self, generator):
+        for op in generator.operations(500):
+            assert 0 <= int(op.key) < 50
+
+    def test_payloads_come_from_corpus(self, generator):
+        corpus = generator._corpus
+        for op in generator.operations(200):
+            if isinstance(op, WriteOp):
+                assert op.value.encode("ascii", errors="replace") in corpus
+
+    def test_preload_covers_universe(self, generator):
+        keys = {op.key for op in generator.preload_operations(50)}
+        assert keys == {str(i) for i in range(50)}
+
+    def test_deterministic(self):
+        dataset = generate_dataset("E", scale=0.2)
+        first = [
+            (type(op).__name__, op.key)
+            for op in QueryMixGenerator(dataset, seed=3).operations(50)
+        ]
+        second = [
+            (type(op).__name__, op.key)
+            for op in QueryMixGenerator(dataset, seed=3).operations(50)
+        ]
+        assert first == second
+
+    def test_write_fraction_zero(self):
+        generator = QueryMixGenerator(
+            generate_dataset("E", scale=0.2), write_fraction=0.0
+        )
+        assert all(isinstance(op, ReadOp) for op in generator.operations(100))
+
+    def test_zipf_skews_to_small_ranks(self):
+        import random
+
+        rng = random.Random(0)
+        ranks = [zipf_rank(rng, 1000) for __ in range(4000)]
+        assert sum(1 for rank in ranks if rank == 0) > len(ranks) * 0.3
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(ordered, 0.5) == 2.0
+        assert percentile(ordered, 0.9) == 4.0
+        assert percentile(ordered, 0.0) == 1.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_percentile_validates_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_latency_summary(self):
+        recorder = LatencyRecorder()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.maximum == 0.4
+        assert summary.p50 == 0.2
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary().count == 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_as_millis(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        assert recorder.summary().as_millis().mean == pytest.approx(500.0)
+
+    def test_extend(self):
+        a = LatencyRecorder()
+        a.record(1.0)
+        b = LatencyRecorder()
+        b.record(2.0)
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestFilebench:
+    def _fs(self, compressed):
+        clock = SimClock()
+        device = MemoryBlockDevice(block_size=512, clock=clock, cache_blocks=64)
+        if compressed:
+            return CompressFS(device=device), clock
+        return PassthroughFS(device=device), clock
+
+    def test_fileset_created(self):
+        fs, __ = self._fs(False)
+        paths = build_fileset(fs, files=8, file_bytes=2048)
+        assert len(paths) == 8
+        assert all(fs.exists(path) for path in paths)
+
+    def test_run_reports_metrics(self):
+        fs, clock = self._fs(False)
+        result = run_fileserver(fs, clock, "baseline", operations=50, files=8, file_bytes=2048)
+        assert result.operations == 50
+        assert result.simulated_seconds > 0
+        assert result.read_mb_per_s > 0
+        assert result.write_mb_per_s > 0
+        assert 0 <= result.bandwidth_utilisation <= 1
+
+    def test_compressfs_not_slower_on_redundant_fileset(self):
+        base_fs, base_clock = self._fs(False)
+        comp_fs, comp_clock = self._fs(True)
+        base = run_fileserver(base_fs, base_clock, "baseline", operations=120, files=8, file_bytes=4096)
+        comp = run_fileserver(comp_fs, comp_clock, "compressdb", operations=120, files=8, file_bytes=4096)
+        assert comp.simulated_seconds <= base.simulated_seconds * 1.1

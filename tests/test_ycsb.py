@@ -1,0 +1,84 @@
+"""Tests for the YCSB workload generator."""
+
+import pytest
+
+from repro.databases.minileveldb import MiniLevelDB
+from repro.fs import CompressFS, PassthroughFS
+from repro.workloads.ycsb import PROFILES, YCSBGenerator, YCSBProfile, run_ycsb
+
+
+class TestProfiles:
+    def test_all_six_defined(self):
+        assert set(PROFILES) == set("ABCDEF")
+
+    def test_mixes_sum_to_one(self):
+        for profile in PROFILES.values():
+            total = profile.read + profile.update + profile.insert + profile.scan + profile.rmw
+            assert total == pytest.approx(1.0)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBProfile("X", 0.5, 0.1, 0.0, 0.0, 0.0, "zipfian")
+
+
+class TestGenerator:
+    def test_workload_a_mix(self):
+        generator = YCSBGenerator("A", record_count=100)
+        ops = list(generator.operations(4000))
+        reads = sum(1 for op in ops if op.kind == "read")
+        updates = sum(1 for op in ops if op.kind == "update")
+        assert reads + updates == 4000
+        assert 0.45 < reads / 4000 < 0.55
+
+    def test_workload_c_is_read_only(self):
+        ops = list(YCSBGenerator("C", record_count=50).operations(500))
+        assert all(op.kind == "read" for op in ops)
+
+    def test_workload_d_inserts_grow_keyspace(self):
+        generator = YCSBGenerator("D", record_count=100)
+        ops = list(generator.operations(2000))
+        inserted = [op.key for op in ops if op.kind == "insert"]
+        assert inserted == list(range(100, 100 + len(inserted)))
+
+    def test_workload_d_reads_favour_latest(self):
+        generator = YCSBGenerator("D", record_count=1000)
+        reads = [op.key for op in generator.operations(3000) if op.kind == "read"]
+        recent = sum(1 for key in reads if key >= 900)
+        assert recent > len(reads) * 0.5
+
+    def test_workload_e_scans(self):
+        ops = list(YCSBGenerator("E", record_count=100, max_scan_length=10).operations(500))
+        scans = [op for op in ops if op.kind == "scan"]
+        assert scans and all(1 <= op.scan_length <= 10 for op in scans)
+
+    def test_keys_in_range(self):
+        generator = YCSBGenerator("A", record_count=77)
+        assert all(0 <= op.key < 77 for op in generator.operations(1000))
+
+    def test_deterministic(self):
+        first = [(op.kind, op.key) for op in YCSBGenerator("A", seed=5).operations(100)]
+        second = [(op.kind, op.key) for op in YCSBGenerator("A", seed=5).operations(100)]
+        assert first == second
+
+    def test_zipfian_is_skewed(self):
+        generator = YCSBGenerator("B", record_count=1000)
+        keys = [op.key for op in generator.operations(3000)]
+        assert sum(1 for key in keys if key < 10) > len(keys) * 0.25
+
+
+class TestRunner:
+    @pytest.mark.parametrize("workload", list("ABCDEF"))
+    def test_runs_on_lsm_store(self, workload):
+        db = MiniLevelDB(PassthroughFS(block_size=512), memtable_limit=8 * 1024)
+        counts = run_ycsb(db, workload, operations=120, record_count=60)
+        assert sum(counts.values()) == 120
+
+    def test_compressdb_saves_space_on_redundant_values(self):
+        corpus = b"the same paragraph of text repeated over and over. " * 200
+        base_fs = PassthroughFS(block_size=512)
+        comp_fs = CompressFS(block_size=512)
+        for fs in (base_fs, comp_fs):
+            db = MiniLevelDB(fs, memtable_limit=8 * 1024)
+            run_ycsb(db, "A", operations=200, record_count=100, corpus=corpus)
+            db.close()
+        assert comp_fs.physical_bytes() <= base_fs.physical_bytes()
