@@ -2,9 +2,11 @@
 
 Not a paper figure — an additional standard harness showing the
 end-to-end effect of the storage engine across the six canonical YCSB
-mixes.  Expected shape: CompressDB is at least competitive on every
-mix and wins most on the write-heavy ones (A, F), where deduplicated
-document payloads save device writes.
+mixes.  Expected shape: CompressDB wins every mix outright.  With the
+scatter-gather read path, the read-dominated mixes (B/C/D) gain the
+most — an SSTable consultation is one batched device transaction —
+while the write-heavy mixes (A, F) still gain heavily from dedup
+saving device writes.
 """
 
 from repro.bench import make_fs, print_table
@@ -57,8 +59,6 @@ def test_ycsb(benchmark):
     for workload in WORKLOADS:
         base = results[(workload, "baseline")]
         comp = results[(workload, "compressdb")]
-        assert comp <= base * 1.15, f"workload {workload} regressed"
-    # The write-heavy mixes benefit the most.
-    gain_a = results[("A", "baseline")] / results[("A", "compressdb")]
-    gain_c = results[("C", "baseline")] / results[("C", "compressdb")]
-    assert gain_a >= gain_c * 0.9
+        # CompressDB wins every mix outright (batched reads + dedup'd
+        # writes), not merely staying competitive.
+        assert comp < base, f"workload {workload} regressed"

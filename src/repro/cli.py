@@ -169,6 +169,20 @@ def cmd_stats(args) -> int:
     print(f"holes:             {engine.holes.total_hole_count()} "
           f"({engine.holes.total_hole_bytes()} bytes)")
     print(f"blockHashTable:    {report['blockHashTable_bytes']} bytes")
+    device = engine.device
+    lookups = device.cache_hits + device.cache_misses
+    hit_rate = device.cache_hits / lookups if lookups else 0.0
+    print(f"page cache:        {device.cache_hits}/{lookups} hits "
+          f"({hit_rate:.1%})")
+    io = device.stats
+    print(f"batched reads:     {io.batched_reads} ops "
+          f"({io.batched_blocks_read} blocks)")
+    print(f"batched writes:    {io.batched_writes} ops "
+          f"({io.batched_blocks_written} blocks)")
+    comp = engine.compressor.stats
+    print(f"dedup hits:        {comp.dedup_hits} "
+          f"(in-place {comp.in_place_updates}, CoW {comp.cow_allocations}, "
+          f"fresh {comp.fresh_allocations})")
     _close(engine, flush=False)
     return 0
 

@@ -16,7 +16,7 @@ influence of insert on the other operations) and can still be shared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 from repro.core.hashtable import BlockHashTable
 from repro.core.refcount import BlockRefCount
@@ -69,21 +69,50 @@ class Compressor:
         Returns a slot referencing either an existing block (refcount
         incremented) or a freshly allocated one.
         """
-        self.stats.stores += 1
-        padded = self._pad(content)
-        if self.dedup:
-            dup = self.hashtable.find_duplicate(padded)
-            if dup is not None:
-                self.stats.dedup_hits += 1
-                self.refcount.incref(dup)
-                return Slot(block_no=dup, used=used)
-        block_no = self.device.allocate()
-        self.device.write_block(block_no, padded)
-        if self.dedup:
-            self.hashtable.add_record(block_no, padded)
-        self.refcount.set(block_no, 1)
-        self.stats.fresh_allocations += 1
-        return Slot(block_no=block_no, used=used)
+        return self.store_many([(content, used)])[0]
+
+    def store_many(self, pieces: Sequence[tuple[bytes, int]]) -> list[Slot]:
+        """Store a run of new blocks, committing them as one batched write.
+
+        The per-block decision is identical to :meth:`store` — dedup hit
+        or fresh allocation — but the device writes for every fresh
+        block are submitted together through
+        :meth:`~repro.storage.block_device.BlockDevice.write_blocks`.
+
+        Fresh blocks are not visible through blockHashTable until their
+        bytes are on the device (the table verifies candidates by
+        reading block contents, so registering early would let a lookup
+        observe stale zeroes); duplicates *within* the batch are caught
+        by a pending-content map instead, preserving full dedup.
+        """
+        slots: list[Slot] = []
+        pending: dict[bytes, int] = {}
+        to_write: list[tuple[int, bytes]] = []
+        for content, used in pieces:
+            self.stats.stores += 1
+            padded = self._pad(content)
+            if self.dedup:
+                dup = pending.get(padded)
+                if dup is None:
+                    dup = self.hashtable.find_duplicate(padded)
+                if dup is not None:
+                    self.stats.dedup_hits += 1
+                    self.refcount.incref(dup)
+                    slots.append(Slot(block_no=dup, used=used))
+                    continue
+            block_no = self.device.allocate()
+            to_write.append((block_no, padded))
+            if self.dedup:
+                pending[padded] = block_no
+            self.refcount.set(block_no, 1)
+            self.stats.fresh_allocations += 1
+            slots.append(Slot(block_no=block_no, used=used))
+        if to_write:
+            self.device.write_blocks(to_write)
+            if self.dedup:
+                for block_no, padded in to_write:
+                    self.hashtable.add_record(block_no, padded)
+        return slots
 
     # -- Algorithm 1: modification of an existing block ------------------------
     def commit(self, inode: Inode, slot_index: int, content: bytes, used: int) -> None:
@@ -93,48 +122,83 @@ class Compressor:
         ``tmp``; the slot is the pointer ``ptr``; the block it currently
         references is ``curr``.
         """
-        self.stats.commits += 1
-        padded = self._pad(content)
-        curr = inode.slot_at(slot_index)
-        dup = self.hashtable.find_duplicate(padded) if self.dedup else None
-        if dup is not None:
-            if dup == curr.block_no:
-                # Content unchanged; only the hole boundary may move.
+        self.commit_many(inode, [(slot_index, content, used)])
+
+    def commit_many(
+        self, inode: Inode, items: Sequence[tuple[int, bytes, int]]
+    ) -> None:
+        """Apply a run of block modifications as one batched device write.
+
+        ``items`` is a sequence of ``(slot_index, content, used)``
+        triples, each carrying Algorithm 1's temporary block for one
+        slot.  Semantics are exactly a loop of :meth:`commit` — dedup
+        hit, in-place update, or copy-on-write decided per block — but
+        the device writes of every in-place update and CoW allocation
+        in the run are submitted together via
+        :meth:`~repro.storage.block_device.BlockDevice.write_blocks`.
+
+        As in :meth:`store_many`, blockHashTable records for deferred
+        writes are registered only after the bytes reach the device;
+        until then a pending-content map answers intra-batch duplicate
+        lookups, so two slots modified to identical content within one
+        batch still share a single block.
+
+        Items must reference distinct slot indexes: one batch is one
+        pass over a slot run, not a replay log.
+        """
+        pending: dict[bytes, int] = {}
+        to_write: list[tuple[int, bytes]] = []
+        for slot_index, content, used in items:
+            self.stats.commits += 1
+            padded = self._pad(content)
+            curr = inode.slot_at(slot_index)
+            dup: Optional[int] = None
+            if self.dedup:
+                dup = pending.get(padded)
+                if dup is None:
+                    dup = self.hashtable.find_duplicate(padded)
+            if dup is not None:
+                if dup == curr.block_no:
+                    # Content unchanged; only the hole boundary may move.
+                    if used != curr.used:
+                        inode.set_used(slot_index, used)
+                    continue
+                # Duplicate block found: redirect the pointer to it.
+                self.stats.dedup_hits += 1
+                if self.refcount.get(curr.block_no) == 1:
+                    self.hashtable.delete_record(curr.block_no)
+                    self.refcount.decref(curr.block_no)
+                    self.device.free(curr.block_no)
+                    self.stats.blocks_freed += 1
+                else:
+                    self.refcount.decref(curr.block_no)
+                self.refcount.incref(dup)
+                inode.replace_slot(slot_index, Slot(block_no=dup, used=used))
+                continue
+            if self.refcount.get(curr.block_no) == 1:
+                # Sole reference: update the block in place, renew its record.
+                if self.dedup:
+                    self.hashtable.delete_record(curr.block_no)
+                    pending[padded] = curr.block_no
+                to_write.append((curr.block_no, padded))
                 if used != curr.used:
                     inode.set_used(slot_index, used)
-                return
-            # Duplicate block found: redirect the pointer to it.
-            self.stats.dedup_hits += 1
-            if self.refcount.get(curr.block_no) == 1:
-                self.hashtable.delete_record(curr.block_no)
-                self.refcount.decref(curr.block_no)
-                self.device.free(curr.block_no)
-                self.stats.blocks_freed += 1
-            else:
-                self.refcount.decref(curr.block_no)
-            self.refcount.incref(dup)
-            inode.replace_slot(slot_index, Slot(block_no=dup, used=used))
-            return
-        if self.refcount.get(curr.block_no) == 1:
-            # Sole reference: update the block in place, renew its record.
+                self.stats.in_place_updates += 1
+                continue
+            # Shared block: copy on write.
+            self.refcount.decref(curr.block_no)
+            block_no = self.device.allocate()
+            to_write.append((block_no, padded))
             if self.dedup:
-                self.hashtable.delete_record(curr.block_no)
-            self.device.write_block(curr.block_no, padded)
+                pending[padded] = block_no
+            self.refcount.set(block_no, 1)
+            inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
+            self.stats.cow_allocations += 1
+        if to_write:
+            self.device.write_blocks(to_write)
             if self.dedup:
-                self.hashtable.add_record(curr.block_no, padded)
-            if used != curr.used:
-                inode.set_used(slot_index, used)
-            self.stats.in_place_updates += 1
-            return
-        # Shared block: copy on write.
-        self.refcount.decref(curr.block_no)
-        block_no = self.device.allocate()
-        self.device.write_block(block_no, padded)
-        if self.dedup:
-            self.hashtable.add_record(block_no, padded)
-        self.refcount.set(block_no, 1)
-        inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
-        self.stats.cow_allocations += 1
+                for block_no, padded in to_write:
+                    self.hashtable.add_record(block_no, padded)
 
     # -- release -----------------------------------------------------------------
     def release(self, slot: Slot) -> None:
@@ -156,14 +220,15 @@ class Compressor:
         number of blocks scanned.
         """
         self.hashtable.clear()
-        scanned = 0
         seen: set[int] = set()
+        order: list[int] = []
         for inode in inodes:
             for slot in inode.iter_slots():
                 if slot.block_no in seen:
                     continue
                 seen.add(slot.block_no)
-                content = self.device.read_block(slot.block_no)
-                self.hashtable.add_record(slot.block_no, content)
-                scanned += 1
-        return scanned
+                order.append(slot.block_no)
+        # The scan is one scatter-gather sweep over the unique blocks.
+        for content, block_no in zip(self.device.read_blocks(order), order):
+            self.hashtable.add_record(block_no, content)
+        return len(order)

@@ -17,7 +17,7 @@ only ever see POSIX-like calls plus the extra pushdown APIs.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from dataclasses import dataclass, field
 
@@ -75,6 +75,16 @@ class CompressDB:
     dedup:
         Disable to measure the engine without its compression module
         (used by the index-construction ablation).
+    coalesce_writes:
+        Enable the write-coalescing buffer: sequential small writes at
+        end of file (the LevelDB/SSTable append pattern) accumulate in
+        memory and commit as full-block batches instead of paying a
+        read-modify-write round trip per call.  The buffer is flushed
+        on any non-sequential write, on any other operation touching
+        the file, when it reaches ``coalesce_blocks`` blocks, and on
+        :meth:`flush`.
+    coalesce_blocks:
+        Size of the coalescing buffer in blocks.
     """
 
     def __init__(
@@ -84,10 +94,16 @@ class CompressDB:
         page_capacity: int = 256,
         hash_table_length: int = 1 << 16,
         dedup: bool = True,
+        coalesce_writes: bool = True,
+        coalesce_blocks: int = 16,
     ) -> None:
         self.device = device if device is not None else MemoryBlockDevice(block_size=block_size)
         self.page_capacity = page_capacity
         self._inodes: dict[str, Inode] = {}
+        self._coalesce_bytes = (
+            coalesce_blocks * self.device.block_size if coalesce_writes else 0
+        )
+        self._pending: dict[str, bytearray] = {}
         self.hashtable = BlockHashTable(
             reader=self.device.read_block, length=hash_table_length
         )
@@ -120,14 +136,51 @@ class CompressDB:
         return path in self._inodes
 
     def inode(self, path: str) -> Inode:
+        """The inode of ``path``, with any coalesced writes flushed first.
+
+        Public callers (and the operation module) must observe the
+        file's full logical state, so pending buffered appends are
+        committed before the inode is handed out.  Internal paths that
+        manage the buffer themselves use :meth:`_inode_raw`.
+        """
+        self._flush_pending(path)
+        return self._inode_raw(path)
+
+    def _inode_raw(self, path: str) -> Inode:
         try:
             return self._inodes[path]
         except KeyError:
             raise FileNotFoundInEngine(path) from None
 
+    # -- write coalescing -----------------------------------------------------
+    def _flush_pending(self, path: Optional[str] = None) -> None:
+        """Commit the coalescing buffer of ``path`` (or of every file).
+
+        The buffered bytes are pure end-of-file appends, so the flush
+        is one batched append: whole blocks go through
+        :meth:`Compressor.store_many` in a single scatter-gather write.
+        """
+        if path is None:
+            for pending_path in list(self._pending):
+                self._flush_pending(pending_path)
+            return
+        buffered = self._pending.pop(path, None)
+        if buffered:
+            self.ops._append_data(self._inode_raw(path), bytes(buffered))
+
+    def sync(self, path: Optional[str] = None) -> None:
+        """Commit coalesced pending appends of ``path`` (or every file).
+
+        The durability hook for the write-coalescing buffer: ``fsync``
+        and whole-file writes map here, while :meth:`flush` additionally
+        persists the metadata image.
+        """
+        self._flush_pending(path)
+
     def unlink(self, path: str) -> None:
         """Delete a file, releasing every block it references."""
-        inode = self.inode(path)
+        inode = self._inode_raw(path)
+        self._pending.pop(path, None)  # buffered bytes die with the file
         for slot in inode.iter_slots():
             self.compressor.release(slot)
         del self._inodes[path]
@@ -135,8 +188,11 @@ class CompressDB:
     def rename(self, old: str, new: str) -> None:
         if new in self._inodes:
             raise FileExistsInEngine(new)
-        self._inodes[new] = self.inode(old)
+        self._inodes[new] = self._inode_raw(old)
         del self._inodes[old]
+        buffered = self._pending.pop(old, None)
+        if buffered:
+            self._pending[new] = buffered
 
     def copy_file(self, src: str, dst: str) -> None:
         """Reflink-style copy: share every block, touch no data.
@@ -164,9 +220,13 @@ class CompressDB:
         return sorted(p for p in self._inodes if p.startswith(prefix))
 
     def file_size(self, path: str) -> int:
-        return self.inode(path).size
+        # Pending coalesced bytes count toward the logical size without
+        # forcing a flush, so append loops polling the size stay cheap.
+        buffered = self._pending.get(path)
+        return self._inode_raw(path).size + (len(buffered) if buffered else 0)
 
     def iter_inodes(self) -> Iterator[Inode]:
+        self._flush_pending()
         return iter(self._inodes.values())
 
     # -- block get/release protocol -----------------------------------------------
@@ -209,17 +269,88 @@ class CompressDB:
         """POSIX ``read``: short reads at end of file, never an error."""
         return self.ops.extract(path, offset, size)
 
+    def readv(self, path: str, spans: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Vectored read: serve every ``(offset, size)`` span at once.
+
+        The slot runs covering all spans are planned first, then every
+        needed block is fetched in a single scatter-gather device
+        transaction — a read of N spans costs one batched request, not
+        N sequential ones.  Each span follows POSIX ``read`` semantics
+        (short reads at end of file).
+        """
+        self._flush_pending(path)
+        inode = self._inode_raw(path)
+        plans: list[Optional[tuple[int, int, list[Slot]]]] = []
+        block_nos: list[int] = []
+        for offset, size in spans:
+            if offset < 0 or size < 0:
+                raise ValueError("offset and size must be non-negative")
+            if offset >= inode.size or size == 0:
+                plans.append(None)
+                continue
+            size = min(size, inode.size - offset)
+            slot_index, within = inode.locate(offset)
+            run: list[Slot] = []
+            covered = -within
+            for slot in inode.iter_slots(slot_index):
+                run.append(slot)
+                covered += slot.used
+                if covered >= size:
+                    break
+            plans.append((within, size, run))
+            block_nos.extend(slot.block_no for slot in run)
+        contents = self.device.read_blocks(block_nos)
+        results: list[bytes] = []
+        cursor = 0
+        for plan in plans:
+            if plan is None:
+                results.append(b"")
+                continue
+            within, size, run = plan
+            parts: list[bytes] = []
+            remaining = size
+            for slot in run:
+                content = contents[cursor][: slot.used]
+                cursor += 1
+                piece = content[within : within + remaining]
+                parts.append(piece)
+                remaining -= len(piece)
+                within = 0
+            results.append(b"".join(parts))
+        return results
+
     def write(self, path: str, offset: int, data: bytes) -> int:
         """POSIX ``write``: overwrite in place, extend past end of file.
 
         Writing beyond the current end fills the gap with zero bytes
         (sparse-write semantics).  Returns the number of bytes written.
+
+        Writes at (or past) end of file land in the coalescing buffer
+        when it is enabled: consecutive small appends accumulate and
+        commit as one batched multi-block store instead of a
+        read-modify-write per call.  Any overlapping or backward write
+        flushes the buffer first and takes the in-place path.
         """
-        inode = self.inode(path)
+        inode = self._inode_raw(path)
         if offset < 0:
             raise ValueError("offset must be non-negative")
         if not data:
             return 0  # POSIX: a zero-length write changes nothing
+        if self._coalesce_bytes > 0:
+            buffered = self._pending.get(path)
+            logical = inode.size + (len(buffered) if buffered else 0)
+            if offset >= logical:
+                if buffered is None:
+                    buffered = self._pending.setdefault(path, bytearray())
+                if offset > logical:
+                    buffered.extend(b"\x00" * (offset - logical))
+                buffered.extend(data)
+                if len(buffered) >= self._coalesce_bytes:
+                    self._flush_pending(path)
+                return len(data)
+            # Offset discontinuity (overwrite / backward write): flush
+            # and fall through to the in-place machinery below.
+            self._flush_pending(path)
         if offset > inode.size:
             self.ops.append(path, b"\x00" * (offset - inode.size))
         overlap = min(len(data), inode.size - offset)
@@ -253,10 +384,12 @@ class CompressDB:
     # -- space accounting ------------------------------------------------------------
     def logical_bytes(self) -> int:
         """Total logical size of all files (what the user stored)."""
+        self._flush_pending()
         return sum(inode.size for inode in self._inodes.values())
 
     def physical_data_blocks(self) -> int:
         """Distinct live data blocks actually held on the device."""
+        self._flush_pending()
         return len(self.refcount)
 
     def physical_bytes(self) -> int:
@@ -291,6 +424,7 @@ class CompressDB:
         written to the superblock's metadata chain, making the engine
         remountable from the raw device in another process.
         """
+        self._flush_pending()
         self.refcount.persist()
         if not sb.is_formatted(self.device):
             return
@@ -352,6 +486,7 @@ class CompressDB:
         by scanning the live blocks.  Returns the number of blocks
         scanned during index reconstruction.
         """
+        self._flush_pending()
         self.refcount.persist()
         self.refcount.restore()
         return self.compressor.rebuild_hashtable(self.iter_inodes())
@@ -392,9 +527,12 @@ class CompressDB:
         while inode.num_slots:
             inode.remove_slot(inode.num_slots - 1)
         block_size = self.device.block_size
-        for start in range(0, len(data), block_size):
-            piece = data[start : start + block_size]
-            inode.append_slot(self.compressor.store(piece, len(piece)))
+        pieces = [
+            (data[start : start + block_size], min(block_size, len(data) - start))
+            for start in range(0, len(data), block_size)
+        ]
+        for slot in self.compressor.store_many(pieces):
+            inode.append_slot(slot)
         # Release the old references only after the new ones exist, so
         # shared blocks that survive the rewrite are never freed.
         for slot in old_slots:
@@ -409,6 +547,7 @@ class CompressDB:
         Returns a report of what was repaired — all zeros on a healthy
         engine.
         """
+        self._flush_pending()
         observed: dict[int, int] = {}
         for inode in self._inodes.values():
             for slot in inode.iter_slots():
@@ -440,6 +579,7 @@ class CompressDB:
         * every live block is resolvable through blockHashTable and no
           two live blocks share content (full dedup).
         """
+        self._flush_pending()
         observed: dict[int, int] = {}
         for inode in self._inodes.values():
             inode.check_invariants()
@@ -457,8 +597,8 @@ class CompressDB:
         if self.compressor.dedup:
             self.hashtable.check_invariants()
             contents: dict[bytes, int] = {}
-            for block_no in observed:
-                content = self.device.read_block(block_no)
+            order = list(observed)
+            for block_no, content in zip(order, self.device.read_blocks(order)):
                 if content in contents:
                     raise AssertionError(
                         f"blocks {contents[content]} and {block_no} share content"

@@ -109,27 +109,15 @@ class OperationModule:
     def extract(self, path: str, offset: int, size: int) -> bytes:
         """Read ``size`` logical bytes starting at ``offset``.
 
-        Reads beyond end-of-file are truncated (POSIX ``read`` semantics).
+        Reads beyond end-of-file are truncated (POSIX ``read``
+        semantics).  The covering slot run is fetched in one
+        scatter-gather device transaction via :meth:`CompressDB.readv`.
         """
         self.stats.extract += 1
-        inode = self._inode(path)
+        self._inode(path)  # existence check + pending-write flush
         if offset < 0 or size < 0:
             raise OperationError("offset and size must be non-negative")
-        if offset >= inode.size or size == 0:
-            return b""
-        size = min(size, inode.size - offset)
-        slot_index, within = inode.locate(offset)
-        parts: list[bytes] = []
-        remaining = size
-        for slot in inode.iter_slots(slot_index):
-            content = self._slot_content(slot)
-            piece = content[within : within + remaining]
-            parts.append(piece)
-            remaining -= len(piece)
-            within = 0
-            if remaining == 0:
-                break
-        return b"".join(parts)
+        return self.engine.readv(path, [(offset, size)])[0]
 
     # -- replace ----------------------------------------------------------------
     def replace(self, path: str, offset: int, data: bytes) -> None:
@@ -138,6 +126,12 @@ class OperationModule:
         Unlike "delete + insert", replace rewrites the affected blocks
         directly (copy-on-write when shared), leaving the block layout
         and hole structure untouched.
+
+        The slot run covering the range is planned first: fully
+        overwritten slots need no device read at all, the partially
+        covered boundary slots are fetched in one batched read, and the
+        whole run commits through :meth:`Compressor.commit_many` as a
+        single scatter-gather write — Algorithm 1 still runs per block.
         """
         self.stats.replace += 1
         inode = self._inode(path)
@@ -145,18 +139,36 @@ class OperationModule:
         if not data:
             return
         slot_index, within = inode.locate(offset)
+        # Plan the slot run: (index, slot, offset-in-slot, take, data-offset).
+        plan: list[tuple[int, Slot, int, int, int]] = []
         consumed = 0
+        index = slot_index
         while consumed < len(data):
-            slot = inode.slot_at(slot_index)
+            slot = inode.slot_at(index)
             take = min(slot.used - within, len(data) - consumed)
-            # The block get/release protocol: check the block out,
-            # modify the temporary copy, release (= Algorithm 1).
-            handle = self.engine.get_block(path, slot_index)
-            handle.data[within : within + take] = data[consumed : consumed + take]
-            self.engine.release_block(handle)
+            plan.append((index, slot, within, take, consumed))
             consumed += take
             within = 0
-            slot_index += 1
+            index += 1
+        # Boundary slots keep bytes outside the range: batch-read them.
+        boundary = [
+            slot.block_no
+            for __, slot, begin, take, __ in plan
+            if begin > 0 or take < slot.used
+        ]
+        old_contents = dict(
+            zip(boundary, self.engine.device.read_blocks(boundary))
+        )
+        items: list[tuple[int, bytes, int]] = []
+        for index, slot, begin, take, data_offset in plan:
+            piece = data[data_offset : data_offset + take]
+            if begin == 0 and take == slot.used:
+                new_content = piece
+            else:
+                old = old_contents[slot.block_no][: slot.used]
+                new_content = old[:begin] + piece + old[begin + take :]
+            items.append((index, new_content, slot.used))
+        self.engine.compressor.commit_many(inode, items)
 
     # -- insert --------------------------------------------------------------------
     def insert(self, path: str, offset: int, data: bytes) -> None:
@@ -179,9 +191,11 @@ class OperationModule:
             return
         slot_index, within = inode.locate(offset)
         if within == 0:
-            # Aligned with a slot boundary: splice new slots in directly.
-            for i, (content, used) in enumerate(self._chunk_slots(data)):
-                inode.insert_slot(slot_index + i, self.engine.compressor.store(content, used))
+            # Aligned with a slot boundary: splice new slots in directly,
+            # storing the whole run as one batched write.
+            slots = self.engine.compressor.store_many(self._chunk_slots(data))
+            for i, slot in enumerate(slots):
+                inode.insert_slot(slot_index + i, slot)
             return
         # Split the slot: left part + inserted data, then the right part.
         slot = inode.slot_at(slot_index)
@@ -190,12 +204,13 @@ class OperationModule:
         right = old_content[within:]
         self.engine.compressor.release(slot)
         inode.remove_slot(slot_index)
-        insert_at = slot_index
-        for content, used in self._chunk_slots(left + data):
-            inode.insert_slot(insert_at, self.engine.compressor.store(content, used))
-            insert_at += 1
+        pieces = self._chunk_slots(left + data)
         if right:
-            inode.insert_slot(insert_at, self.engine.compressor.store(right, len(right)))
+            pieces.append((right, len(right)))
+        insert_at = slot_index
+        for new_slot in self.engine.compressor.store_many(pieces):
+            inode.insert_slot(insert_at, new_slot)
+            insert_at += 1
 
     # -- delete ----------------------------------------------------------------------
     def delete(self, path: str, offset: int, length: int, merge_holes: bool = True) -> None:
@@ -282,8 +297,9 @@ class OperationModule:
                 content = self._slot_content(last) + fill
                 self.engine.compressor.commit(inode, last_index, content, len(content))
                 data = data[room:]
-        for content, used in self._chunk_slots(data):
-            inode.append_slot(self.engine.compressor.store(content, used))
+        # The tail commits as one scatter-gather store of whole blocks.
+        for slot in self.engine.compressor.store_many(self._chunk_slots(data)):
+            inode.append_slot(slot)
 
     # -- analytics pushdown -----------------------------------------------------------
     def word_count(self, path: str) -> Counter:
@@ -402,10 +418,9 @@ class OperationModule:
         for slot in inode.iter_slots():
             slot_offsets.append((slot, offset))
             offset += slot.used
-        contents: dict[int, bytes] = {}
-        for slot, __ in slot_offsets:
-            if slot.block_no not in contents:
-                contents[slot.block_no] = self.engine.device.read_block(slot.block_no)
+        # One scatter-gather read over the distinct blocks of the file.
+        unique = list(dict.fromkeys(slot.block_no for slot, __ in slot_offsets))
+        contents = dict(zip(unique, self.engine.device.read_blocks(unique)))
         return slot_offsets, contents
 
     def _junction_window(

@@ -89,8 +89,40 @@ class ChunkServer:
     def read(self, chunk_id: str, offset: int, size: int) -> bytes:
         return self.fs._pread(self._path(chunk_id), offset, size)
 
+    def readv(self, requests: list[tuple[str, int, int]]) -> list[bytes]:
+        """Serve several ``(chunk_id, offset, size)`` reads in one RPC.
+
+        Spans of the same chunk go through the file system's vectored
+        read path, so a client reading N spans from this server costs
+        one request envelope and one scatter-gather device transaction
+        per touched chunk file rather than N independent reads.
+        """
+        by_chunk: dict[str, tuple[list[int], list[tuple[int, int]]]] = {}
+        for index, (chunk_id, offset, size) in enumerate(requests):
+            indices, spans = by_chunk.setdefault(chunk_id, ([], []))
+            indices.append(index)
+            spans.append((offset, size))
+        results: list[bytes] = [b""] * len(requests)
+        for chunk_id, (indices, spans) in by_chunk.items():
+            payloads = self.fs._preadv(self._path(chunk_id), spans)
+            for index, payload in zip(indices, payloads):
+                results[index] = payload
+        return results
+
     def write(self, chunk_id: str, offset: int, data: bytes) -> int:
         return self.fs._pwrite(self._path(chunk_id), offset, data)
+
+    def writev(self, requests: list[tuple[str, int, bytes]]) -> int:
+        """Apply several ``(chunk_id, offset, data)`` replaces in one RPC.
+
+        Each item carries :meth:`replace` semantics; batching them into
+        one request lets a client mutation touching many chunks pay a
+        single network envelope per server.  Returns total bytes written.
+        """
+        self._ensure_online()
+        for chunk_id, offset, data in requests:
+            self.replace(chunk_id, offset, data)
+        return sum(len(data) for __, __, data in requests)
 
     def truncate(self, chunk_id: str, size: int) -> None:
         self.fs.truncate(self._path(chunk_id), size)

@@ -91,10 +91,21 @@ class ClusterClient:
         if offset >= entry.size or size <= 0:
             return b""
         size = min(size, entry.size - offset)
-        parts = []
-        for __, chunk, start, count in self.master.chunks_in_range(path, offset, size):
-            self._charge(count)  # data crosses the network to the client
-            parts.append(self._read_server(chunk).read(chunk.chunk_id, start, count))
+        pieces = self.master.chunks_in_range(path, offset, size)
+        # Group the per-chunk spans by serving replica: one readv RPC
+        # (and one envelope charge) per server covers every span it
+        # holds, instead of one round trip per chunk.
+        groups: dict[str, tuple[ChunkServer, list[int], list[tuple[str, int, int]]]] = {}
+        for index, (__, chunk, start, count) in enumerate(pieces):
+            server = self._read_server(chunk)
+            __, indices, requests = groups.setdefault(server.name, (server, [], []))
+            indices.append(index)
+            requests.append((chunk.chunk_id, start, count))
+        parts: list[bytes] = [b""] * len(pieces)
+        for server, indices, requests in groups.values():
+            self._charge(sum(count for __, __, count in requests))
+            for index, payload in zip(indices, server.readv(requests)):
+                parts[index] = payload
         return b"".join(parts)
 
     def write(self, path: str, offset: int, data: bytes) -> int:
@@ -104,12 +115,18 @@ class ClusterClient:
         overlap = min(len(data), self.master.file_size(path) - offset)
         consumed = 0
         if overlap > 0:
+            # Batch the per-chunk replaces by replica holder: each live
+            # server gets one writev RPC carrying every span it stores.
+            groups: dict[str, tuple[ChunkServer, list[tuple[str, int, bytes]]]] = {}
             for __, chunk, start, count in self.master.chunks_in_range(path, offset, overlap):
                 piece = data[consumed : consumed + count]
                 for server in self._write_servers(chunk):
-                    self._charge(len(piece))
-                    server.replace(chunk.chunk_id, start, piece)
+                    __, requests = groups.setdefault(server.name, (server, []))
+                    requests.append((chunk.chunk_id, start, piece))
                 consumed += count
+            for server, requests in groups.values():
+                self._charge(sum(len(piece) for __, __, piece in requests))
+                server.writev(requests)
         if consumed < len(data):
             self.append(path, data[consumed:])
         return len(data)

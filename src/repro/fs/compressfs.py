@@ -81,6 +81,26 @@ class CompressFS(FileSystem):
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
 
+    def _preadv(self, path: str, spans: list[tuple[int, int]]) -> list[bytes]:
+        """Serve every span from one scatter-gather engine read."""
+        for offset, size in spans:
+            if offset < 0 or size < 0:
+                raise InvalidArgument("offset and size must be non-negative")
+        try:
+            return self.engine.readv(path, spans)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
+    def _pwritev(self, path: str, spans: list[tuple[int, bytes]]) -> int:
+        """Vectored write; sequential spans coalesce in the engine buffer."""
+        for offset, _ in spans:
+            if offset < 0:
+                raise InvalidArgument("offset must be non-negative")
+        try:
+            return sum(self.engine.write(path, offset, data) for offset, data in spans)
+        except FileNotFoundInEngine:
+            raise FileNotFound(path) from None
+
     def _truncate(self, path: str, size: int) -> None:
         if size < 0:
             raise InvalidArgument("size must be non-negative")
@@ -88,6 +108,16 @@ class CompressFS(FileSystem):
             self.engine.truncate(path, size)
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
+
+    def fsync(self, fd: int) -> None:
+        """Commit the file's coalesced pending appends to the device."""
+        state = self._fds.lookup(fd)
+        self.engine.sync(state.path)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Whole-file writes commit immediately as one batched store."""
+        super().write_file(path, data)
+        self.engine.sync(path)
 
     def rename(self, old: str, new: str) -> None:
         """Metadata-only rename (no data copy, unlike the baseline)."""

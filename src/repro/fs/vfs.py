@@ -66,6 +66,23 @@ class FileSystem:
     def _pwrite(self, path: str, offset: int, data: bytes) -> int:
         raise NotImplementedError
 
+    def _preadv(self, path: str, spans: list[tuple[int, int]]) -> list[bytes]:
+        """Vectored positional read: one result per ``(offset, size)`` span.
+
+        The default is a loop of :meth:`_pread`; file systems with a
+        scatter-gather fast path override this to serve the whole span
+        list in one batched device transaction.
+        """
+        return [self._pread(path, offset, size) for offset, size in spans]
+
+    def _pwritev(self, path: str, spans: list[tuple[int, bytes]]) -> int:
+        """Vectored positional write of ``(offset, data)`` spans.
+
+        Returns the total byte count written.  The default is a loop of
+        :meth:`_pwrite`; subclasses may coalesce the spans.
+        """
+        return sum(self._pwrite(path, offset, data) for offset, data in spans)
+
     def _truncate(self, path: str, size: int) -> None:
         raise NotImplementedError
 
@@ -155,6 +172,20 @@ class FileSystem:
         if not state.writable:
             raise PermissionDenied(f"fd {fd} not open for writing")
         return self._pwrite(state.path, offset, data)
+
+    def preadv(self, fd: int, spans: list[tuple[int, int]]) -> list[bytes]:
+        """``preadv``: read every ``(offset, size)`` span in one request."""
+        state = self._fds.lookup(fd)
+        if not state.readable:
+            raise PermissionDenied(f"fd {fd} not open for reading")
+        return self._preadv(state.path, spans)
+
+    def pwritev(self, fd: int, spans: list[tuple[int, bytes]]) -> int:
+        """``pwritev``: write every ``(offset, data)`` span in one request."""
+        state = self._fds.lookup(fd)
+        if not state.writable:
+            raise PermissionDenied(f"fd {fd} not open for writing")
+        return self._pwritev(state.path, spans)
 
     def ftruncate(self, fd: int, size: int) -> None:
         state = self._fds.lookup(fd)

@@ -8,7 +8,7 @@ simulated throughput and bandwidth utilisation, and the cost model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -23,6 +23,12 @@ class IOStats:
     metadata_writes: int = 0
     allocations: int = 0
     frees: int = 0
+    # Scatter-gather accounting: one batched op covers many blocks in a
+    # single device transaction (one seek charged for the whole run).
+    batched_reads: int = 0
+    batched_writes: int = 0
+    batched_blocks_read: int = 0
+    batched_blocks_written: int = 0
 
     def record_read(self, nbytes: int) -> None:
         self.block_reads += 1
@@ -32,6 +38,20 @@ class IOStats:
         self.block_writes += 1
         self.bytes_written += nbytes
 
+    def record_batched_read(self, nblocks: int, nbytes: int) -> None:
+        """One multi-block read transaction covering ``nblocks`` blocks."""
+        self.block_reads += nblocks
+        self.bytes_read += nbytes
+        self.batched_reads += 1
+        self.batched_blocks_read += nblocks
+
+    def record_batched_write(self, nblocks: int, nbytes: int) -> None:
+        """One multi-block write transaction covering ``nblocks`` blocks."""
+        self.block_writes += nblocks
+        self.bytes_written += nbytes
+        self.batched_writes += 1
+        self.batched_blocks_written += nblocks
+
     def record_metadata_read(self) -> None:
         self.metadata_reads += 1
 
@@ -40,39 +60,22 @@ class IOStats:
 
     def reset(self) -> None:
         """Zero every counter in place."""
-        self.block_reads = 0
-        self.block_writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.metadata_reads = 0
-        self.metadata_writes = 0
-        self.allocations = 0
-        self.frees = 0
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
         return IOStats(
-            block_reads=self.block_reads,
-            block_writes=self.block_writes,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            metadata_reads=self.metadata_reads,
-            metadata_writes=self.metadata_writes,
-            allocations=self.allocations,
-            frees=self.frees,
+            **{spec.name: getattr(self, spec.name) for spec in fields(self)}
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Return the difference between this snapshot and an earlier one."""
         return IOStats(
-            block_reads=self.block_reads - earlier.block_reads,
-            block_writes=self.block_writes - earlier.block_writes,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            metadata_reads=self.metadata_reads - earlier.metadata_reads,
-            metadata_writes=self.metadata_writes - earlier.metadata_writes,
-            allocations=self.allocations - earlier.allocations,
-            frees=self.frees - earlier.frees,
+            **{
+                spec.name: getattr(self, spec.name) - getattr(earlier, spec.name)
+                for spec in fields(self)
+            }
         )
 
     @property
@@ -118,12 +121,10 @@ class StatsRegistry:
         """Sum the counters of every registered component."""
         total = IOStats()
         for stats in self.components.values():
-            total.block_reads += stats.block_reads
-            total.block_writes += stats.block_writes
-            total.bytes_read += stats.bytes_read
-            total.bytes_written += stats.bytes_written
-            total.metadata_reads += stats.metadata_reads
-            total.metadata_writes += stats.metadata_writes
-            total.allocations += stats.allocations
-            total.frees += stats.frees
+            for spec in fields(IOStats):
+                setattr(
+                    total,
+                    spec.name,
+                    getattr(total, spec.name) + getattr(stats, spec.name),
+                )
         return total
