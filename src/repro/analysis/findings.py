@@ -1,0 +1,67 @@
+"""Structured findings emitted by the reprolint checkers.
+
+A finding pins one invariant violation to a source location.  Findings
+sort by ``(path, line, rule_id, message)`` so every report — text or
+JSON — is byte-stable across runs, which the CI lint job relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """How bad a violated invariant is.
+
+    ``ERROR`` findings break a correctness contract (refcount balance,
+    layering, lock order); ``WARNING`` findings break a performance or
+    hygiene contract (unbatched I/O on a hot path).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    severity: Severity
+    message: str
+    #: True when an inline ``# reprolint: disable=`` comment covers it.
+    suppressed: bool = False
+    #: The written justification carried by the suppressing comment.
+    justification: str = field(default="", compare=False)
+
+    @property
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule_id, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        """Stable JSON form (keys in a fixed order)."""
+        payload: dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppressed:
+            payload["justification"] = self.justification
+        return payload
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        mark = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}: {self.rule_id} "
+            f"{self.severity.value}: {self.message}{mark}"
+        )

@@ -1,0 +1,217 @@
+"""The reprolint checker framework.
+
+A :class:`Checker` inspects one parsed file (:class:`FileContext`) and
+yields :class:`~repro.analysis.findings.Finding` objects.  The
+:class:`Analyzer` parses files, builds symbol tables, runs every
+registered checker, and applies inline suppressions.
+
+Suppressions
+------------
+
+A finding is suppressed by a comment on the reported line::
+
+    self.device.read_block(no)  # reprolint: disable=IO001 -- pointer chase
+
+The justification after ``--`` is mandatory: reprolint's contract is
+that every silenced invariant carries a written reason, so a bare
+``disable`` is itself reported (rule ``SUP001``).  ``disable=all``
+silences every rule on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.symbols import SymbolTable
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s+--\s*(\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# reprolint: disable=`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    justification: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "all" in self.rules or rule_id in self.rules
+
+
+def parse_suppressions(source_lines: list[str]) -> dict[int, Suppression]:
+    suppressions: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(rule.strip() for rule in match.group(1).split(","))
+        suppressions[lineno] = Suppression(
+            line=lineno, rules=rules, justification=match.group(2) or ""
+        )
+    return suppressions
+
+
+@dataclass
+class FileContext:
+    """Everything the checkers can know about one file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: list[str]
+    symbols: SymbolTable
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package holding this module (``repro.core`` for
+        ``repro.core.engine``)."""
+        if self.module.endswith(".__init__"):
+            return self.module.rsplit(".", 1)[0]
+        return self.module.rsplit(".", 1)[0] if "." in self.module else self.module
+
+
+class Checker:
+    """Base class for one rule.  Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            severity=self.severity,
+            message=message,
+        )
+
+
+#: rule_id -> checker class, in registration order.
+CHECKER_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(checker: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not checker.rule_id:
+        raise ValueError(f"{checker.__name__} has no rule_id")
+    if checker.rule_id in CHECKER_REGISTRY:
+        raise ValueError(f"duplicate rule id {checker.rule_id}")
+    CHECKER_REGISTRY[checker.rule_id] = checker
+    return checker
+
+
+def module_name_for(path: str) -> str:
+    """Derive the dotted module name from a file path.
+
+    The segment after the last ``repro`` path component anchors the
+    package — this works for the installed tree (``.../src/repro/...``)
+    and for test fixtures that mirror it under a temp directory.  Files
+    outside any ``repro`` tree get their bare stem, which opts them out
+    of the package-scoped rules.
+    """
+    normalized = path.replace("\\", "/")
+    parts = [part for part in normalized.split("/") if part]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    return parts[-1] if parts else ""
+
+
+class AnalysisError(Exception):
+    """A target file could not be parsed."""
+
+
+class Analyzer:
+    """Runs a set of checkers over files and applies suppressions."""
+
+    def __init__(self, rules: Optional[Iterable[str]] = None) -> None:
+        # Import for side effect: the rule modules register themselves.
+        from repro.analysis import rules_io  # noqa: F401
+        from repro.analysis import rules_layering  # noqa: F401
+        from repro.analysis import rules_locks  # noqa: F401
+        from repro.analysis import rules_mutation  # noqa: F401
+        from repro.analysis import rules_refcount  # noqa: F401
+
+        selected = set(rules) if rules is not None else None
+        if selected is not None:
+            unknown = selected - set(CHECKER_REGISTRY) - {"SUP001"}
+            if unknown:
+                raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        self.rules = selected
+        self.checkers = [
+            checker_cls()
+            for rule_id, checker_cls in CHECKER_REGISTRY.items()
+            if selected is None or rule_id in selected
+        ]
+
+    def run_source(self, source: str, path: str) -> list[Finding]:
+        """Analyze one file's source text."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path}: {exc}") from exc
+        ctx = FileContext(
+            path=path,
+            module=module_name_for(path),
+            tree=tree,
+            source_lines=source.splitlines(),
+            symbols=SymbolTable.build(tree),
+            suppressions=parse_suppressions(source.splitlines()),
+        )
+        findings: list[Finding] = []
+        for checker in self.checkers:
+            for finding in checker.check(ctx):
+                findings.append(self._apply_suppression(ctx, finding))
+        findings.extend(self._suppression_hygiene(ctx))
+        return sorted(findings, key=lambda f: f.sort_key)
+
+    def run_file(self, path: str) -> list[Finding]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.run_source(handle.read(), path)
+
+    def _apply_suppression(self, ctx: FileContext, finding: Finding) -> Finding:
+        suppression = ctx.suppressions.get(finding.line)
+        if suppression is None or not suppression.covers(finding.rule_id):
+            return finding
+        return Finding(
+            rule_id=finding.rule_id,
+            path=finding.path,
+            line=finding.line,
+            severity=finding.severity,
+            message=finding.message,
+            suppressed=True,
+            justification=suppression.justification,
+        )
+
+    def _suppression_hygiene(self, ctx: FileContext) -> Iterator[Finding]:
+        """SUP001: every suppression must carry a written justification."""
+        if self.rules is not None and "SUP001" not in self.rules:
+            return
+        for suppression in ctx.suppressions.values():
+            if not suppression.justification:
+                yield Finding(
+                    rule_id="SUP001",
+                    path=ctx.path,
+                    line=suppression.line,
+                    severity=Severity.ERROR,
+                    message=(
+                        "suppression without justification: write "
+                        "'# reprolint: disable=RULE -- reason'"
+                    ),
+                )

@@ -1,0 +1,108 @@
+"""LOCK001 — cluster lock ordering.
+
+The distributed tier (master / chunk servers / clients) follows one
+declared acquisition order to stay deadlock-free::
+
+    master (rank 0)  →  chunkserver (rank 1)  →  client (rank 2)
+
+Any nested ``with <lock>:`` acquisition in ``repro.distributed`` whose
+inner lock ranks **at or below** the outer lock inverts (or re-enters)
+the order and is flagged.  Lock expressions are classified by name:
+anything containing ``lock`` is a lock; its tier comes from the first
+tier keyword (``master`` / ``chunk``/``server`` / ``client``) appearing
+in the dotted expression.  Unranked locks nest freely under ranked
+ones — but re-acquiring the *same* expression is always a self-deadlock
+for a non-reentrant ``threading.Lock`` and is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, FileContext, register
+
+#: Declared master → chunkserver → client order.
+LOCK_TIERS = (
+    ("master", 0),
+    ("chunk", 1),
+    ("server", 1),
+    ("client", 2),
+)
+
+
+def _lock_expressions(node: ast.With) -> list[tuple[str, ast.expr]]:
+    """Lock-like context expressions of one ``with`` statement."""
+    found = []
+    for item in node.items:
+        source = ast.unparse(item.context_expr)
+        if "lock" in source.lower():
+            found.append((source, item.context_expr))
+    return found
+
+
+def _rank(source: str) -> Optional[int]:
+    lowered = source.lower()
+    for keyword, rank in LOCK_TIERS:
+        if keyword in lowered:
+            return rank
+    return None
+
+
+@register
+class LockOrderChecker(Checker):
+    rule_id = "LOCK001"
+    severity = Severity.ERROR
+    description = (
+        "nested lock acquisitions in repro.distributed must follow the "
+        "declared master -> chunkserver -> client order"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro.distributed"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.With):
+                yield from self._check_with(ctx, node)
+
+    def _check_with(self, ctx: FileContext, node: ast.With) -> Iterator[Finding]:
+        inner_locks = _lock_expressions(node)
+        if not inner_locks:
+            return
+        held = self._held_locks(ctx, node)
+        # Multiple items in one ``with a, b:`` acquire left to right.
+        for index, (source, expr) in enumerate(inner_locks):
+            for outer_source in held + [s for s, __ in inner_locks[:index]]:
+                if outer_source == source:
+                    yield self.finding(
+                        ctx,
+                        expr,
+                        f"re-acquisition of {source!r} while already held — "
+                        "self-deadlock for a non-reentrant Lock",
+                    )
+                    continue
+                outer_rank, inner_rank = _rank(outer_source), _rank(source)
+                if outer_rank is None or inner_rank is None:
+                    continue
+                if inner_rank <= outer_rank:
+                    yield self.finding(
+                        ctx,
+                        expr,
+                        f"lock order inversion: {source!r} (rank {inner_rank}) "
+                        f"acquired while holding {outer_source!r} (rank "
+                        f"{outer_rank}); declared order is master -> "
+                        "chunkserver -> client",
+                    )
+
+    def _held_locks(self, ctx: FileContext, node: ast.With) -> list[str]:
+        """Lock expressions held by enclosing ``with`` statements, outermost
+        first (within the enclosing function)."""
+        func = ctx.symbols.enclosing_function(node)
+        held: list[str] = []
+        for ancestor in ctx.symbols.ancestors(node):
+            if ancestor is func:
+                break
+            if isinstance(ancestor, ast.With):
+                held = [source for source, __ in _lock_expressions(ancestor)] + held
+        return held

@@ -1,0 +1,147 @@
+"""Per-file symbol tables for the reprolint checkers.
+
+One pass over the AST records what the rules keep asking for:
+
+* parent links (``ast`` has none), so checkers can walk outward from a
+  call to its statement, loop, ``try``, function, and class;
+* the import map — local name → fully qualified module/object path —
+  so LAYER001 reasons about *modules*, not spellings;
+* every function (with qualified name) and every class with its base
+  names, resolved through the import map where possible.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSION_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``self.refcount.incref``)."""
+    return dotted_name(call.func)
+
+
+def call_tail(call: ast.Call) -> Optional[str]:
+    """Last component of the call target (``incref``)."""
+    name = call_name(call)
+    return name.rsplit(".", 1)[-1] if name else None
+
+
+@dataclass
+class SymbolTable:
+    """Everything a checker needs to know about one parsed file."""
+
+    tree: ast.Module
+    #: child node -> parent node, for every node in the tree.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local name -> fully qualified origin ("FileNotFound" ->
+    #: "repro.fs.errors.FileNotFound", "np" -> "numpy").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: (node, qualified name) for every function/method in the file.
+    functions: list[tuple[ast.AST, str]] = field(default_factory=list)
+    #: class name -> base-name list (resolved through the import map).
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, tree: ast.Module) -> "SymbolTable":
+        table = cls(tree=tree)
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                table.parents[child] = parent
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    table.imports[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    table.imports[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, _FUNCTION_NODES):
+                table.functions.append((node, table._qualname(node)))
+            elif isinstance(node, ast.ClassDef):
+                bases = []
+                for base in node.bases:
+                    name = dotted_name(base)
+                    if name is None:
+                        continue
+                    root = name.split(".", 1)[0]
+                    if root in table.imports:
+                        name = table.imports[root] + name[len(root):]
+                    bases.append(name)
+                table.class_bases[node.name] = bases
+        return table
+
+    def _qualname(self, node: ast.AST) -> str:
+        parts: list[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None and not isinstance(current, ast.Module):
+            if isinstance(current, _FUNCTION_NODES + (ast.ClassDef,)):
+                parts.append(current.name)  # type: ignore[union-attr]
+            current = self.parents.get(current)
+        return ".".join(reversed(parts))
+
+    # -- ancestry helpers ---------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def enclosing_statement(self, node: ast.AST) -> Optional[ast.stmt]:
+        """The innermost statement containing ``node`` (itself if a stmt)."""
+        current: Optional[ast.AST] = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parents.get(current)
+        return current
+
+    def loop_ancestor(self, node: ast.AST, stop: Optional[ast.AST] = None) -> Optional[ast.AST]:
+        """The nearest loop (or comprehension) containing ``node``.
+
+        The search stops at ``stop`` (normally the enclosing function) so
+        a call inside a method is not attributed to a loop that contains
+        the whole function definition.
+        """
+        for ancestor in self.ancestors(node):
+            if ancestor is stop:
+                return None
+            if isinstance(ancestor, _LOOP_NODES + _COMPREHENSION_NODES):
+                return ancestor
+        return None
+
+    def resolve(self, name: str) -> str:
+        """Resolve a (possibly dotted) local name through the imports."""
+        root = name.split(".", 1)[0]
+        if root in self.imports:
+            return self.imports[root] + name[len(root):]
+        return name

@@ -10,6 +10,7 @@ is usable from the shell::
     compressdb insert store.img /corpus.txt 100 "spliced in"
     compressdb stats store.img
     compressdb serve store.img /tmp/compressdb.sock   # unix-socket API
+    compressdb lint --json                            # reprolint static analysis
 
 Every mutating command flushes the metadata image before exiting.
 """
@@ -20,8 +21,11 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.core import superblock as sb
 from repro.core.api import SocketServer
-from repro.core.engine import CompressDB
+from repro.core.engine import CompressDB, FileExistsInEngine, FileNotFoundInEngine
+from repro.core.operations import OperationError
+from repro.fs.errors import FSError
 from repro.storage.block_device import FileBlockDevice
 
 
@@ -30,6 +34,11 @@ class CLIError(Exception):
 
 
 def _mount(image: str, block_size: int = 1024) -> CompressDB:
+    # An existing image dictates its own geometry; mounting it with any
+    # other block size would misread every block boundary.
+    recorded = sb.probe_block_size(image)
+    if recorded is not None:
+        block_size = recorded
     device = FileBlockDevice(image, block_size=block_size)
     return CompressDB.mount(device)
 
@@ -224,6 +233,29 @@ def cmd_defrag(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the reprolint static analyzer (see :mod:`repro.analysis`)."""
+    from repro.analysis import CHECKER_REGISTRY, runner
+
+    if args.list_rules:
+        for rule_id, checker_cls in sorted(CHECKER_REGISTRY.items()):
+            print(f"{rule_id}  [{checker_cls.severity.value}]  "
+                  f"{checker_cls.description}")
+        print("SUP001  [error]  suppression without a written justification")
+        return 0
+    try:
+        report = runner.run_paths(args.paths, rules=args.rule or None)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    if args.json:
+        import os
+
+        print(report.render_json(root=os.getcwd()))
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
     engine = _mount(args.image)
     server = SocketServer(engine, args.socket)
@@ -333,6 +365,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.set_defaults(func=cmd_defrag)
 
+    p = sub.add_parser(
+        "lint",
+        help="run reprolint, the engine's invariant analyzer, over a tree",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    p.add_argument("--json", action="store_true", help="stable JSON output")
+    p.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("serve", help="expose the image on a unix socket")
     p.add_argument("image")
     p.add_argument("socket")
@@ -349,7 +407,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
+    except (
+        FileNotFoundError,
+        FileNotFoundInEngine,
+        FileExistsInEngine,
+        OperationError,
+        FSError,
+        sb.PersistenceError,
+    ) as exc:
+        # Engine/VFS failures are expected user-facing conditions (missing
+        # path, bad range), not crashes — report, don't traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

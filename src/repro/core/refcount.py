@@ -91,19 +91,20 @@ class BlockRefCount:
             self._partition_blocks.append(self._device.allocate())
         while len(self._partition_blocks) > needed:
             self._device.free(self._partition_blocks.pop())
+        writes: list[tuple[int, bytes]] = []
         for i in range(needed):
             chunk = items[i * entries_per_block : (i + 1) * entries_per_block]
             payload = _HEADER.pack(len(chunk)) + b"".join(
                 _ENTRY.pack(block_no, count) for block_no, count in chunk
             )
-            self._device.write_block(self._partition_blocks[i], payload)
+            writes.append((self._partition_blocks[i], payload))
+        self._device.write_blocks(writes)
         return needed
 
     def restore(self) -> None:
         """Reload counts from the partition after a simulated remount."""
         counts: dict[int, int] = {}
-        for block_no in self._partition_blocks:
-            payload = self._device.read_block(block_no)
+        for payload in self._device.read_blocks(self._partition_blocks):
             (n_entries,) = _HEADER.unpack_from(payload, 0)
             offset = _HEADER.size
             for __ in range(n_entries):

@@ -27,8 +27,11 @@ from repro.storage.block_device import BlockDevice
 from repro.storage.inode import Inode, Slot
 
 _MAGIC = 0x434F4D5052444200  # "COMPRDB\0"
-_VERSION = 1
-_SUPERBLOCK = struct.Struct("<QIQ")  # magic, version, meta chain head
+_VERSION = 2
+# magic, version, block size, meta chain head.  The block size is
+# recorded so an image can never be re-opened (and silently reformatted)
+# under a different geometry than it was written with.
+_SUPERBLOCK = struct.Struct("<QIIQ")
 _CHAIN_HEADER = struct.Struct("<QI")  # next block (NO_BLOCK = end), payload bytes
 NO_BLOCK = 0xFFFFFFFFFFFFFFFF
 
@@ -71,9 +74,13 @@ def write_chain(device: BlockDevice, payload: bytes) -> int:
     if not chunks:
         chunks = [b""]
     blocks = [device.allocate() for __ in chunks]
+    writes: list[tuple[int, bytes]] = []
     for index, chunk in enumerate(chunks):
         next_block = blocks[index + 1] if index + 1 < len(blocks) else NO_BLOCK
-        device.write_block(blocks[index], _CHAIN_HEADER.pack(next_block, len(chunk)) + chunk)
+        writes.append(
+            (blocks[index], _CHAIN_HEADER.pack(next_block, len(chunk)) + chunk)
+        )
+    device.write_blocks(writes)
     return blocks[0]
 
 
@@ -84,7 +91,7 @@ def read_chain(device: BlockDevice, head: int) -> tuple[bytes, list[int]]:
     current = head
     while current != NO_BLOCK:
         blocks.append(current)
-        raw = device.read_block(current)
+        raw = device.read_block(current)  # reprolint: disable=IO001 -- pointer chase: each next-block number lives inside the previous block, so the reads are sequentially dependent and cannot be batched
         next_block, length = _CHAIN_HEADER.unpack_from(raw, 0)
         parts.append(raw[_CHAIN_HEADER.size : _CHAIN_HEADER.size + length])
         current = next_block
@@ -154,14 +161,19 @@ def format_device(device: BlockDevice) -> None:
         raise PersistenceError(
             f"superblock must be block 0, device handed out {block_no}"
         )
-    device.write_block(SUPERBLOCK_NO, _SUPERBLOCK.pack(_MAGIC, _VERSION, NO_BLOCK))
+    device.write_block(
+        SUPERBLOCK_NO,
+        _SUPERBLOCK.pack(_MAGIC, _VERSION, device.block_size, NO_BLOCK),
+    )
 
 
 def is_formatted(device: BlockDevice) -> bool:
     if device.total_blocks == 0:
         return False
     try:
-        magic, version, __ = _SUPERBLOCK.unpack_from(device.read_block(SUPERBLOCK_NO), 0)
+        magic, version, __, __ = _SUPERBLOCK.unpack_from(
+            device.read_block(SUPERBLOCK_NO), 0
+        )
     except struct.error:  # pragma: no cover - blocks are fixed-size
         return False
     return magic == _MAGIC and version == _VERSION
@@ -171,9 +183,40 @@ def read_superblock(device: BlockDevice) -> int:
     """Validate the superblock; returns the metadata chain head."""
     if not is_formatted(device):
         raise PersistenceError("device carries no CompressDB superblock")
-    __, __, head = _SUPERBLOCK.unpack_from(device.read_block(SUPERBLOCK_NO), 0)
+    __, __, block_size, head = _SUPERBLOCK.unpack_from(
+        device.read_block(SUPERBLOCK_NO), 0
+    )
+    if block_size != device.block_size:
+        raise PersistenceError(
+            f"image was written with {block_size}-byte blocks but the "
+            f"device is using {device.block_size}-byte blocks"
+        )
     return head
 
 
 def update_superblock(device: BlockDevice, meta_head: int) -> None:
-    device.write_block(SUPERBLOCK_NO, _SUPERBLOCK.pack(_MAGIC, _VERSION, meta_head))
+    device.write_block(
+        SUPERBLOCK_NO,
+        _SUPERBLOCK.pack(_MAGIC, _VERSION, device.block_size, meta_head),
+    )
+
+
+def probe_block_size(path: str) -> int | None:
+    """Read the block size recorded in an image file's superblock.
+
+    Returns ``None`` when the file does not start with a valid
+    CompressDB superblock (fresh file, foreign data, older layout).
+    Works on the raw file, so callers can learn the right geometry
+    *before* constructing a block device.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read(_SUPERBLOCK.size)
+    except OSError:
+        return None
+    if len(raw) < _SUPERBLOCK.size:
+        return None
+    magic, version, block_size, __ = _SUPERBLOCK.unpack_from(raw, 0)
+    if magic != _MAGIC or version != _VERSION or block_size <= 0:
+        return None
+    return block_size

@@ -266,6 +266,15 @@ class FileBlockDevice(BlockDevice):
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
         size = os.path.getsize(path)
+        if size % self.block_size:
+            # A backing file always holds whole blocks; a remainder means
+            # the file was written under a different block size, and
+            # carving it up with this one would shear every boundary.
+            self._file.close()
+            raise BlockDeviceError(
+                f"{path}: size {size} is not a multiple of block size "
+                f"{self.block_size} — image written with different geometry?"
+            )
         self._next_block = size // self.block_size
 
     def close(self) -> None:

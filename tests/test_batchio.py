@@ -17,7 +17,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.engine import CompressDB
-from repro.fs.compressfs import CompressFS
 from repro.fs import fd as fdmod
 from repro.storage.block_device import BlockDeviceError, MemoryBlockDevice
 from repro.storage.simclock import HDD_5400RPM, SimClock

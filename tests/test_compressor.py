@@ -6,7 +6,7 @@ from repro.core.compressor import Compressor
 from repro.core.hashtable import BlockHashTable
 from repro.core.refcount import BlockRefCount
 from repro.storage.block_device import MemoryBlockDevice
-from repro.storage.inode import Inode, Slot
+from repro.storage.inode import Inode
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ double as long-running integration tests of the storage stack.
 """
 
 from hypothesis import settings, strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.databases.minimongo import MiniMongo
 from repro.databases.minisql import MiniSQL

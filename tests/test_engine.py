@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import CompressDB, FileExistsInEngine, FileNotFoundInEngine
+from repro.core.engine import FileExistsInEngine, FileNotFoundInEngine
 
 
 class TestNamespace:

@@ -1,0 +1,682 @@
+"""Tests for reprolint, the engine's AST-based invariant analyzer.
+
+Each rule gets a positive fixture (the violation is found), a negative
+fixture (idiomatic code passes), and a suppression fixture.  On top of
+that: suppression hygiene (SUP001), stable JSON output, the CLI
+``lint`` subcommand, and — the point of the exercise — the shipped
+source tree linting clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    CHECKER_REGISTRY,
+    default_target,
+    run_paths,
+)
+from repro.analysis.framework import module_name_for
+from repro.cli import main
+from repro.core.engine import CompressDB
+from repro.storage.inode import Inode
+
+
+def lint(source: str, path: str, rules=None):
+    """Run the analyzer over one synthetic file."""
+    return Analyzer(rules=rules).run_source(textwrap.dedent(source), path)
+
+
+def active(findings):
+    return [f for f in findings if not f.suppressed]
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in active(findings)})
+
+
+# ---------------------------------------------------------------------------
+# RC001 — refcount pairing
+# ---------------------------------------------------------------------------
+
+class TestRefcountRule:
+    PATH = "src/repro/core/fixture.py"
+
+    def test_raise_between_incref_and_discharge(self):
+        findings = lint(
+            """
+            def leak(refcount, device, block):
+                refcount.incref(block)
+                device.write_block(block, b"x")
+                return None
+            """,
+            self.PATH,
+        )
+        assert rule_ids(findings) == ["RC001"]
+        assert "leak" in active(findings)[0].message
+
+    def test_transfer_discharges_obligation(self):
+        findings = lint(
+            """
+            def balanced(refcount, inode, block):
+                refcount.incref(block)
+                inode.append_slot(Slot(block_no=block, used=1))
+            """,
+            self.PATH,
+            rules=["RC001"],
+        )
+        assert findings == []
+
+    def test_try_finally_decref_is_balanced(self):
+        findings = lint(
+            """
+            def guarded(refcount, device, block):
+                refcount.incref(block)
+                try:
+                    device.write_block(block, b"x")
+                finally:
+                    refcount.decref(block)
+            """,
+            self.PATH,
+            rules=["RC001"],
+        )
+        assert findings == []
+
+    def test_loop_carried_obligations_flagged(self):
+        findings = lint(
+            """
+            def clone_all(refcount, source, clone):
+                for slot in source.iter_slots():
+                    refcount.incref(slot.block_no)
+                    clone.append_slot(Slot(block_no=slot.block_no, used=slot.used))
+                publish(clone)
+            """,
+            self.PATH,
+            rules=["RC001"],
+        )
+        assert len(active(findings)) == 1
+        assert "loop" in active(findings)[0].message
+
+    def test_loop_with_decref_rollback_passes(self):
+        findings = lint(
+            """
+            def clone_safe(refcount, source, clone):
+                added = []
+                try:
+                    for slot in source.iter_slots():
+                        refcount.incref(slot.block_no)
+                        added.append(slot.block_no)
+                        clone.append_slot(Slot(block_no=slot.block_no, used=slot.used))
+                except Exception:
+                    for block_no in added:
+                        refcount.decref(block_no)
+                    raise
+            """,
+            self.PATH,
+            rules=["RC001"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_core_and_fs(self):
+        findings = lint(
+            """
+            def leak(refcount, device, block):
+                refcount.incref(block)
+                device.write_block(block, b"x")
+                return None
+            """,
+            "src/repro/workloads/fixture.py",
+            rules=["RC001"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# IO001 — batched block I/O
+# ---------------------------------------------------------------------------
+
+class TestBatchedIORule:
+    PATH = "src/repro/core/iofixture.py"
+
+    def test_per_block_read_in_loop_flagged(self):
+        findings = lint(
+            """
+            def gather(device, block_nos):
+                out = []
+                for no in block_nos:
+                    out.append(device.read_block(no))
+                return out
+            """,
+            self.PATH,
+            rules=["IO001"],
+        )
+        assert len(active(findings)) == 1
+        assert "read_blocks" in active(findings)[0].message
+
+    def test_comprehension_counts_as_loop(self):
+        findings = lint(
+            """
+            def gather(device, block_nos):
+                return [device.read_block(no) for no in block_nos]
+            """,
+            self.PATH,
+            rules=["IO001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_batched_call_passes(self):
+        findings = lint(
+            """
+            def gather(device, block_nos):
+                return device.read_blocks(block_nos)
+            """,
+            self.PATH,
+            rules=["IO001"],
+        )
+        assert findings == []
+
+    def test_bare_function_with_same_name_not_claimed(self):
+        findings = lint(
+            """
+            def generate(count):
+                return [write_block() for __ in range(count)]
+            """,
+            self.PATH,
+            rules=["IO001"],
+        )
+        assert findings == []
+
+    def test_storage_layer_exempt(self):
+        findings = lint(
+            """
+            def flush(self):
+                for no, payload in self._dirty.items():
+                    self.backend.write_block(no, payload)
+            """,
+            "src/repro/storage/device_fixture.py",
+            rules=["IO001"],
+        )
+        assert findings == []
+
+    def test_suppression_with_justification(self):
+        findings = lint(
+            """
+            def chase(device, head):
+                while head != -1:
+                    raw = device.read_block(head)  # reprolint: disable=IO001 -- pointer chase, reads are dependent
+                    head = next_of(raw)
+            """,
+            self.PATH,
+            rules=["IO001", "SUP001"],
+        )
+        assert active(findings) == []
+        suppressed = [f for f in findings if f.suppressed]
+        assert len(suppressed) == 1
+        assert "pointer chase" in suppressed[0].justification
+
+
+# ---------------------------------------------------------------------------
+# LAYER001 — layer cake and boundary exceptions
+# ---------------------------------------------------------------------------
+
+class TestLayeringRule:
+    def test_database_touching_block_device_flagged(self):
+        findings = lint(
+            """
+            from repro.storage.block_device import MemoryBlockDevice
+            """,
+            "src/repro/databases/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert len(active(findings)) == 1
+        assert "repro.core.api" in active(findings)[0].message
+
+    def test_database_using_public_surface_passes(self):
+        findings = lint(
+            """
+            from repro.core.api import SocketClient
+            from repro.fs.vfs import PassthroughFS
+            from repro.storage.simclock import SimClock
+            """,
+            "src/repro/databases/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert findings == []
+
+    def test_lower_layer_importing_higher_flagged(self):
+        findings = lint(
+            """
+            from repro.fs.vfs import PassthroughFS
+            """,
+            "src/repro/storage/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert len(active(findings)) == 1
+        assert "lower layers" in active(findings)[0].message
+
+    def test_builtin_exception_across_vfs_flagged(self):
+        findings = lint(
+            """
+            class BrokenFS(FileSystem):
+                def _pread(self, path, offset, size):
+                    raise ValueError("nope")
+            """,
+            "src/repro/fs/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert len(active(findings)) == 1
+        assert "ValueError" in active(findings)[0].message
+
+    def test_engine_internal_exception_across_vfs_flagged(self):
+        findings = lint(
+            """
+            from repro.core.engine import FileNotFoundInEngine
+
+            class LeakyFS(FileSystem):
+                def _size(self, path):
+                    raise FileNotFoundInEngine(path)
+            """,
+            "src/repro/fs/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_fs_errors_types_cross_cleanly(self):
+        findings = lint(
+            """
+            from repro.fs.errors import FileNotFound
+
+            class GoodFS(FileSystem):
+                def _size(self, path):
+                    raise FileNotFound(path)
+
+                def _pwritev(self, path, offset, chunks):
+                    raise NotImplementedError
+            """,
+            "src/repro/fs/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert findings == []
+
+    def test_helper_methods_may_raise_builtins(self):
+        findings = lint(
+            """
+            class InternalFS(FileSystem):
+                def _pick_strategy(self, hint):
+                    raise ValueError(hint)
+            """,
+            "src/repro/fs/fixture.py",
+            rules=["LAYER001"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# LOCK001 — cluster lock order
+# ---------------------------------------------------------------------------
+
+class TestLockOrderRule:
+    PATH = "src/repro/distributed/fixture.py"
+
+    def test_inverted_nesting_flagged(self):
+        findings = lint(
+            """
+            def bad(self):
+                with self.client_lock:
+                    with self.master_lock:
+                        pass
+            """,
+            self.PATH,
+            rules=["LOCK001"],
+        )
+        assert len(active(findings)) == 1
+        assert "inversion" in active(findings)[0].message
+
+    def test_declared_order_passes(self):
+        findings = lint(
+            """
+            def good(self):
+                with self.master_lock:
+                    with self.chunkserver_lock:
+                        with self.client_lock:
+                            pass
+            """,
+            self.PATH,
+            rules=["LOCK001"],
+        )
+        assert findings == []
+
+    def test_reacquisition_is_self_deadlock(self):
+        findings = lint(
+            """
+            def twice(self):
+                with self.state_lock:
+                    with self.state_lock:
+                        pass
+            """,
+            self.PATH,
+            rules=["LOCK001"],
+        )
+        assert len(active(findings)) == 1
+        assert "self-deadlock" in active(findings)[0].message
+
+    def test_multi_item_with_checked_left_to_right(self):
+        findings = lint(
+            """
+            def bad(self):
+                with self.client_lock, self.master_lock:
+                    pass
+            """,
+            self.PATH,
+            rules=["LOCK001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_rule_scoped_to_distributed(self):
+        findings = lint(
+            """
+            def bad(self):
+                with self.client_lock:
+                    with self.master_lock:
+                        pass
+            """,
+            "src/repro/core/fixture.py",
+            rules=["LOCK001"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# MUT001 — raw block buffer mutation
+# ---------------------------------------------------------------------------
+
+class TestRawMutationRule:
+    PATH = "src/repro/core/mutfixture.py"
+
+    def test_subscript_store_into_raw_block_flagged(self):
+        findings = lint(
+            """
+            def corrupt(device, no):
+                raw = bytearray(device.read_block(no))
+                raw[0] = 1
+            """,
+            self.PATH,
+            rules=["MUT001"],
+        )
+        assert len(active(findings)) == 1
+        assert "raw" in active(findings)[0].message
+
+    def test_mutator_method_on_raw_block_flagged(self):
+        findings = lint(
+            """
+            def corrupt(device, no):
+                raw = bytearray(device.read_block(no))
+                raw.extend(b"tail")
+            """,
+            self.PATH,
+            rules=["MUT001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_fresh_buffer_mutation_passes(self):
+        findings = lint(
+            """
+            def fine(device, no):
+                header = device.read_block(no)[:4]
+                fresh = bytearray(64)
+                fresh[0] = 1
+                fresh.extend(header)
+                return bytes(fresh)
+            """,
+            self.PATH,
+            rules=["MUT001"],
+        )
+        assert findings == []
+
+    def test_taint_does_not_cross_ordinary_calls(self):
+        findings = lint(
+            """
+            def fine(self, device, no):
+                raw = device.read_block(no)
+                pieces = self._chunk(raw)
+                pieces.append((b"tail", 4))
+            """,
+            self.PATH,
+            rules=["MUT001"],
+        )
+        assert findings == []
+
+    def test_hole_api_module_exempt(self):
+        findings = lint(
+            """
+            def punch(device, no, start, length):
+                raw = bytearray(device.read_block(no))
+                raw[start : start + length] = b"\\x00" * length
+            """,
+            "src/repro/core/holes.py",
+            rules=["MUT001"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Framework: suppressions, registry, module mapping, JSON
+# ---------------------------------------------------------------------------
+
+class TestFramework:
+    def test_all_five_rules_registered(self):
+        assert {"RC001", "IO001", "LAYER001", "LOCK001", "MUT001"} <= set(
+            CHECKER_REGISTRY
+        )
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            Analyzer(rules=["NOPE42"])
+
+    def test_bare_suppression_reported_by_sup001(self):
+        findings = lint(
+            """
+            def gather(device, block_nos):
+                return [device.read_block(no) for no in block_nos]  # reprolint: disable=IO001
+            """,
+            "src/repro/core/fixture.py",
+        )
+        assert rule_ids(findings) == ["SUP001"]
+
+    def test_disable_all_covers_every_rule(self):
+        findings = lint(
+            """
+            def gather(device, block_nos):
+                return [device.read_block(no) for no in block_nos]  # reprolint: disable=all -- fixture exercising blanket suppression
+            """,
+            "src/repro/core/fixture.py",
+        )
+        assert active(findings) == []
+
+    def test_module_name_anchored_at_repro(self):
+        assert module_name_for("/x/y/src/repro/core/engine.py") == "repro.core.engine"
+        assert module_name_for("src/repro/fs/vfs.py") == "repro.fs.vfs"
+        assert module_name_for("/elsewhere/script.py") == "script"
+
+    def test_findings_sorted_and_json_stable(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "b.py").write_text(
+            textwrap.dedent(
+                """
+                def gather(device, block_nos):
+                    return [device.read_block(no) for no in block_nos]
+                """
+            )
+        )
+        (target / "a.py").write_text(
+            textwrap.dedent(
+                """
+                def scatter(device, pairs):
+                    for no, payload in pairs:
+                        device.write_block(no, payload)
+                """
+            )
+        )
+        first = run_paths([str(tmp_path)])
+        second = run_paths([str(tmp_path)])
+        assert first.render_json(root=str(tmp_path)) == second.render_json(
+            root=str(tmp_path)
+        )
+        document = json.loads(first.render_json(root=str(tmp_path)))
+        assert document["version"] == 1
+        assert document["counts"]["active"] == 2
+        paths = [finding["path"] for finding in document["findings"]]
+        assert paths == sorted(paths)
+        assert first.exit_code == 1
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        report = run_paths([str(bad)])
+        assert report.exit_code == 2
+        assert report.errors
+
+
+# ---------------------------------------------------------------------------
+# The CLI and the shipped tree
+# ---------------------------------------------------------------------------
+
+class TestLintCLI:
+    def test_shipped_tree_is_clean(self):
+        report = run_paths([default_target()])
+        assert report.files_scanned > 50
+        assert report.active == [], "\n" + report.render_text()
+        for finding in report.suppressed:
+            assert finding.justification, finding.render()
+
+    def test_cli_lint_exits_zero_on_tree(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_cli_lint_flags_violations(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "def f(device, nos):\n"
+            "    return [device.read_block(no) for no in nos]\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "IO001" in capsys.readouterr().out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "def f(device, nos):\n"
+            "    return [device.read_block(no) for no in nos]\n"
+        )
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["findings"][0]["rule"] == "IO001"
+
+    def test_cli_rule_selection(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(
+            "def f(device, nos):\n"
+            "    return [device.read_block(no) for no in nos]\n"
+        )
+        assert main(["lint", "--rule", "RC001", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--rule", "IO001", str(tmp_path)]) == 1
+
+    def test_cli_unknown_rule_is_cli_error(self, capsys):
+        assert main(["lint", "--rule", "NOPE42"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "SUP001"):
+            assert rule in out
+
+    def test_cli_missing_target(self, capsys):
+        assert main(["lint", "/no/such/tree"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Regression tests for the bugs the analyzer surfaced
+# ---------------------------------------------------------------------------
+
+class TestSurfacedBugs:
+    def test_copy_file_failure_rolls_back_refcounts(self, monkeypatch):
+        """RC001 on copy_file: a mid-copy failure used to leak one
+        reference per already-cloned slot, pinning the blocks forever."""
+        engine = CompressDB(block_size=64, page_capacity=4)
+        engine.write_file("/a", bytes(range(256)) * 2)
+        source = engine.inode("/a")
+        baseline = {
+            slot.block_no: engine.refcount.get(slot.block_no)
+            for slot in source.iter_slots()
+        }
+        assert len(baseline) > 2
+
+        original = Inode.append_slot
+        calls = []
+
+        def flaky(self, slot):
+            calls.append(slot)
+            if len(calls) == 3:
+                raise RuntimeError("simulated mid-copy failure")
+            return original(self, slot)
+
+        monkeypatch.setattr(Inode, "append_slot", flaky)
+        with pytest.raises(RuntimeError):
+            engine.copy_file("/a", "/b")
+        monkeypatch.setattr(Inode, "append_slot", original)
+
+        assert "/b" not in engine.list_files()
+        for block_no, count in baseline.items():
+            assert engine.refcount.get(block_no) == count
+        # The repair pass agrees nothing is dangling.
+        report = engine.fsck()
+        assert report["refcounts_fixed"] == 0
+
+    def test_cli_reports_engine_errors_instead_of_traceback(self, tmp_path, capsys):
+        """LAYER001's taxonomy: engine exceptions reaching the user as raw
+        tracebacks.  ``get`` on a missing path must exit 2 with a
+        message, not crash."""
+        image = str(tmp_path / "store.img")
+        assert main(["init", image, "--block-size", "256"]) == 0
+        capsys.readouterr()
+        assert main(["get", image, "/missing"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert main(["delete", image, "/missing", "0", "4"]) == 2
+        assert main(["cp", image, "/missing", "/copy"]) == 2
+
+    def test_nondefault_block_size_image_survives_remounts(self, tmp_path, capsys):
+        """Images record their block size: commands used to remount with
+        the 1024-byte default, see a 256-byte-block image as unformatted,
+        and silently reformat it — destroying all data."""
+        image = str(tmp_path / "store.img")
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_bytes(b"payload that must survive " * 20)
+        assert main(["init", image, "--block-size", "256"]) == 0
+        assert main(["put", image, str(corpus), "/keep.txt"]) == 0
+        # A failing command must not corrupt the image for later ones.
+        assert main(["get", image, "/missing"]) == 2
+        capsys.readouterr()
+        out = str(tmp_path / "back.txt")
+        assert main(["get", image, "/keep.txt", "-o", out]) == 0
+        assert open(out, "rb").read() == corpus.read_bytes()
+
+    def test_file_device_rejects_mismatched_geometry(self, tmp_path):
+        from repro.storage.block_device import BlockDeviceError, FileBlockDevice
+
+        image = str(tmp_path / "odd.img")
+        with open(image, "wb") as handle:
+            handle.write(b"\x00" * 768)  # three 256-byte blocks
+        with pytest.raises(BlockDeviceError, match="geometry"):
+            FileBlockDevice(image, block_size=1024)
