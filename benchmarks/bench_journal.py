@@ -1,0 +1,198 @@
+"""Write-ahead journal overhead on the PR 1 write workloads (PR 3).
+
+Two write-heavy access patterns over mounted CompressDB images on the
+HDD cost model, each run twice — once on an unjournaled image and once
+on an image formatted with a journal region — with an ``fsync`` every
+few operations so the journaled engine actually pays its commit
+protocol (journal append + barrier + in-place apply):
+
+* **append** — 2048 sequential 512 B records (the LevelDB/SSTable
+  pattern), fsync every 256 records;
+* **random write** — 256 overwrites of 4 KiB spans at random offsets
+  in an 1 MiB file, fsync every 64 spans.
+
+Because the journal runs in ordered mode — freshly allocated blocks are
+written directly and shared/committed blocks are shadowed copy-on-write
+— only the handful of genuinely in-place structures (the superblock,
+recycled refcount-partition blocks) flow through the journal, so the
+measured overhead should stay well under the 1.5x acceptance bound.
+Runnable standalone (``python benchmarks/bench_journal.py [--smoke]``)
+or under pytest with the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.bench import print_table
+from repro.core.engine import CompressDB
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import HDD_5400RPM, SimClock
+
+BLOCK_SIZE = 1024
+JOURNAL_BLOCKS = 64
+APPEND_RECORDS = 2048
+APPEND_RECORD_BYTES = 512
+APPEND_FSYNC_EVERY = 256
+RANDOM_FILE_BYTES = 1024 * 1024
+RANDOM_SPANS = 256
+RANDOM_SPAN_BYTES = 4096
+RANDOM_FSYNC_EVERY = 64
+SMOKE_SCALE = 4
+OVERHEAD_BOUND = 1.5  # journaled sim time must stay under 1.5x unjournaled
+
+
+def _mount(journal_blocks: int = 0) -> CompressDB:
+    clock = SimClock()
+    device = MemoryBlockDevice(
+        block_size=BLOCK_SIZE,
+        profile=HDD_5400RPM,
+        clock=clock,
+        cache_blocks=0,  # no page cache: measure the device transactions
+    )
+    return CompressDB.mount(device, journal_blocks=journal_blocks or None)
+
+
+def _measure(engine: CompressDB, fn):
+    """(simulated seconds, wall seconds, result) of fn()."""
+    sim_before = engine.device.clock.now
+    wall_before = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - wall_before
+    sim = engine.device.clock.now - sim_before
+    return sim, wall, result
+
+
+def _append_workload(engine: CompressDB, records: int) -> bytes:
+    record = bytes(range(256)) * (APPEND_RECORD_BYTES // 256)
+    engine.create("/log")
+    for index in range(records):
+        engine.write("/log", index * APPEND_RECORD_BYTES, record)
+        if (index + 1) % APPEND_FSYNC_EVERY == 0:
+            engine.fsync("/log")
+    engine.fsync("/log")
+    return engine.read_file("/log")
+
+
+def _random_write_workload(engine: CompressDB, spans: int) -> bytes:
+    rng = random.Random(23)
+    patch = bytes(rng.randrange(256) for __ in range(64)) * (
+        RANDOM_SPAN_BYTES // 64
+    )
+    for index in range(spans):
+        offset = rng.randrange(0, RANDOM_FILE_BYTES - RANDOM_SPAN_BYTES)
+        engine.write("/data", offset, patch)
+        if (index + 1) % RANDOM_FSYNC_EVERY == 0:
+            engine.fsync("/data")
+    engine.fsync("/data")
+    return engine.read_file("/data")
+
+
+def bench_append(smoke: bool = False) -> dict:
+    records = APPEND_RECORDS // (SMOKE_SCALE if smoke else 1)
+    plain = _mount()
+    plain_sim, plain_wall, plain_data = _measure(
+        plain, lambda: _append_workload(plain, records)
+    )
+    journaled = _mount(JOURNAL_BLOCKS)
+    journal_sim, journal_wall, journal_data = _measure(
+        journaled, lambda: _append_workload(journaled, records)
+    )
+    assert plain_data == journal_data
+    return {
+        "pattern": f"append ({records} x {APPEND_RECORD_BYTES} B)",
+        "plain": (plain_sim, plain_wall),
+        "journaled": (journal_sim, journal_wall),
+    }
+
+
+def bench_random_write(smoke: bool = False) -> dict:
+    spans = RANDOM_SPANS // (SMOKE_SCALE if smoke else 1)
+    rng = random.Random(17)
+    payload = bytes(rng.randrange(256) for __ in range(RANDOM_FILE_BYTES // 512)) * 512
+
+    def _prepare(engine: CompressDB) -> None:
+        engine.write_file("/data", payload)
+        engine.fsync("/data")
+
+    plain = _mount()
+    _prepare(plain)
+    plain_sim, plain_wall, plain_data = _measure(
+        plain, lambda: _random_write_workload(plain, spans)
+    )
+    journaled = _mount(JOURNAL_BLOCKS)
+    _prepare(journaled)
+    journal_sim, journal_wall, journal_data = _measure(
+        journaled, lambda: _random_write_workload(journaled, spans)
+    )
+    assert plain_data == journal_data
+    return {
+        "pattern": f"random write ({spans} x {RANDOM_SPAN_BYTES} B)",
+        "plain": (plain_sim, plain_wall),
+        "journaled": (journal_sim, journal_wall),
+    }
+
+
+def run_all(smoke: bool = False) -> list[dict]:
+    return [bench_append(smoke), bench_random_write(smoke)]
+
+
+def report(results: list[dict]) -> dict[str, float]:
+    rows = []
+    overheads: dict[str, float] = {}
+    for entry in results:
+        plain_sim, plain_wall = entry["plain"]
+        journal_sim, journal_wall = entry["journaled"]
+        ratio = journal_sim / plain_sim if plain_sim else 1.0
+        overheads[entry["pattern"]] = ratio
+        rows.append(
+            [
+                entry["pattern"],
+                f"{plain_sim * 1e3:.2f}",
+                f"{journal_sim * 1e3:.2f}",
+                f"{ratio:.2f}x",
+                f"{plain_wall * 1e3:.0f}/{journal_wall * 1e3:.0f}",
+            ]
+        )
+    print_table(
+        [
+            "pattern",
+            "plain sim ms",
+            "journaled sim ms",
+            "overhead",
+            "wall ms (p/j)",
+        ],
+        rows,
+        title="Write-ahead journal overhead vs unjournaled mounts",
+    )
+    return overheads
+
+
+def _check(overheads: dict[str, float]) -> None:
+    for pattern, ratio in overheads.items():
+        assert ratio < OVERHEAD_BOUND, (
+            f"journal overhead {ratio:.2f}x on '{pattern}' exceeds the "
+            f"{OVERHEAD_BOUND}x bound"
+        )
+
+
+def test_journal_overhead(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _check(report(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced volume for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+    _check(report(run_all(smoke=args.smoke)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -147,6 +147,7 @@ class Analyzer:
         from repro.analysis import rules_locks  # noqa: F401
         from repro.analysis import rules_mutation  # noqa: F401
         from repro.analysis import rules_refcount  # noqa: F401
+        from repro.analysis import rules_txn  # noqa: F401
 
         selected = set(rules) if rules is not None else None
         if selected is not None:

@@ -34,6 +34,7 @@ from repro.analysis.symbols import dotted_name
 #: strictly higher rank inverts the layer cake.
 LAYER_RANKS = {
     "repro.storage": 0,
+    "repro.journal": 0,
     "repro.compression": 0,
     "repro.analysis": 0,
     "repro.succinct": 1,

@@ -1,0 +1,139 @@
+"""TXN001 — metadata mutation outside an active transaction scope.
+
+Every durable structure — blockHashTable records, blockRefCount
+counts, inode slot tables — must change inside a transaction so the
+journal can publish the whole mutation atomically (one ``insert`` is
+one crash-consistent unit, not a refcount bump that survives without
+its slot).  A mutation site is considered transaction-aware when any
+of the following holds:
+
+* its enclosing function is decorated ``@transactional`` (the decorator
+  joins the engine's ambient transaction scope);
+* the enclosing function calls ``require_transaction(...)`` (the
+  runtime guard for helpers that are only ever invoked from decorated
+  entry points);
+* the call is lexically inside ``with ...transaction():`` or
+  ``with ..._txn_scope():``.
+
+Scope: all of ``repro`` except the structures' own modules
+(``repro.core.refcount``, ``repro.core.hashtable`` — they implement the
+primitives, they do not decide when to call them), the storage
+substrate (the journal itself lives there), and the analyzer.
+Suppressions require justification, as for every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, FileContext, register
+from repro.analysis.symbols import call_name, call_tail, dotted_name
+
+#: Calls that mutate durable metadata structures.
+_MUTATOR_TAILS = frozenset(
+    {
+        "incref",
+        "decref",
+        "insert_slot",
+        "remove_slot",
+        "replace_slot",
+        "append_slot",
+        "set_used",
+        "add_record",
+        "delete_record",
+    }
+)
+
+#: Context-manager call tails that establish a transaction scope.
+_SCOPE_TAILS = frozenset({"transaction", "_txn_scope"})
+
+_EXEMPT_MODULES = (
+    "repro.core.refcount",
+    "repro.core.hashtable",
+    "repro.storage.",
+    "repro.analysis.",
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_metadata_mutator(call: ast.Call) -> bool:
+    tail = call_tail(call)
+    if tail in _MUTATOR_TAILS:
+        return True
+    if tail == "set":
+        # ``refcount.set(...)`` / ``self.refcount.set(...)`` is refcount
+        # persistence; a bare ``.set()`` on anything else is not ours.
+        name = call_name(call)
+        return name is not None and "refcount" in name.split(".")
+    return False
+
+
+def _has_transactional_decorator(func: ast.AST) -> bool:
+    if not isinstance(func, _FUNCTION_NODES):
+        return False
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted and dotted.rsplit(".", 1)[-1] == "transactional":
+            return True
+    return False
+
+
+def _calls_require_transaction(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and call_tail(node) == "require_transaction":
+            return True
+    return False
+
+
+def _inside_transaction_with(ctx: FileContext, node: ast.AST) -> bool:
+    for ancestor in ctx.symbols.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) and call_tail(expr) in _SCOPE_TAILS:
+                    return True
+        if isinstance(ancestor, _FUNCTION_NODES):
+            return False
+    return False
+
+
+@register
+class TransactionScopeChecker(Checker):
+    rule_id = "TXN001"
+    severity = Severity.ERROR
+    description = (
+        "metadata-mutating call outside an active Transaction; decorate "
+        "the mutator @transactional, guard it with require_transaction, "
+        "or wrap the call in a transaction scope"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        if ctx.module.startswith(_EXEMPT_MODULES):
+            return
+        for func, qualname in ctx.symbols.functions:
+            if _has_transactional_decorator(func):
+                continue
+            if _calls_require_transaction(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_metadata_mutator(node):
+                    continue
+                if ctx.symbols.enclosing_function(node) is not func:
+                    continue  # belongs to a nested function; judged there
+                if _inside_transaction_with(ctx, node):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualname}: {call_name(node) or call_tail(node)}() "
+                    "mutates durable metadata outside a transaction scope — "
+                    "a crash here tears the journal's atomic unit",
+                )

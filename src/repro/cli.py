@@ -33,28 +33,40 @@ class CLIError(Exception):
     """User-facing command failure (bad arguments, missing files)."""
 
 
-def _mount(image: str, block_size: int = 1024) -> CompressDB:
+def _mount(
+    image: str, block_size: int = 1024, journal_blocks: int | None = None
+) -> CompressDB:
     # An existing image dictates its own geometry; mounting it with any
-    # other block size would misread every block boundary.
+    # other block size would misread every block boundary.  The journal
+    # region, likewise, is fixed at format time — ``journal_blocks``
+    # only matters when the image is being created.
     recorded = sb.probe_block_size(image)
     if recorded is not None:
         block_size = recorded
     device = FileBlockDevice(image, block_size=block_size)
-    return CompressDB.mount(device)
+    return CompressDB.mount(device, journal_blocks=journal_blocks)
 
 
 def _close(engine: CompressDB, flush: bool) -> None:
     if flush:
-        engine.flush()
-    device = engine.device
+        engine.fsync()
+    # The engine may have wrapped the file device in a journal.
+    device = getattr(engine.device, "inner", engine.device)
     if isinstance(device, FileBlockDevice):
         device.close()
 
 
 def cmd_init(args) -> int:
-    engine = _mount(args.image, block_size=args.block_size)
+    engine = _mount(
+        args.image,
+        block_size=args.block_size,
+        journal_blocks=args.journal_blocks,
+    )
     _close(engine, flush=True)
-    print(f"initialised {args.image} (block size {args.block_size})")
+    suffix = (
+        f", journal {args.journal_blocks} blocks" if args.journal_blocks else ""
+    )
+    print(f"initialised {args.image} (block size {args.block_size}{suffix})")
     return 0
 
 
@@ -217,11 +229,21 @@ def cmd_describe(args) -> int:
 
 def cmd_fsck(args) -> int:
     engine = _mount(args.image)
-    report = engine.fsck()
-    _close(engine, flush=True)
+    report = engine.fsck(repair=args.repair)
+    # Verify-only runs must leave the image byte-identical.
+    _close(engine, flush=args.repair)
     print(f"refcounts fixed:  {report['refcounts_fixed']}")
     print(f"blocks reclaimed: {report['blocks_reclaimed']}")
+    print(f"hole errors:      {report['hole_inconsistencies']}")
     print(f"index entries:    {report['index_entries']}")
+    violations = (
+        report["refcounts_fixed"]
+        + report["blocks_reclaimed"]
+        + report["hole_inconsistencies"]
+    )
+    if violations and not args.repair:
+        print(f"{violations} violation(s) found; run with --repair to fix")
+        return 1
     return 0
 
 
@@ -284,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("init", help="create a new image")
     p.add_argument("image")
     p.add_argument("--block-size", type=int, default=1024)
+    p.add_argument(
+        "--journal-blocks",
+        type=int,
+        default=0,
+        help="reserve a write-ahead journal of this many blocks "
+        "(0 = unjournaled image)",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("put", help="store a host file in the image")
@@ -358,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fsck", help="verify and repair engine metadata")
     p.add_argument("image")
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="restore invariants (default: verify only, exit 1 on violations)",
+    )
     p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("defrag", help="rewrite a file without holes")

@@ -22,6 +22,7 @@ from repro.core.hashtable import BlockHashTable
 from repro.core.refcount import BlockRefCount
 from repro.storage.block_device import BlockDevice
 from repro.storage.inode import Inode, Slot
+from repro.storage.journal import require_transaction
 
 
 @dataclass
@@ -85,6 +86,7 @@ class Compressor:
         observe stale zeroes); duplicates *within* the batch are caught
         by a pending-content map instead, preserving full dedup.
         """
+        require_transaction(self.device)
         slots: list[Slot] = []
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
@@ -146,6 +148,7 @@ class Compressor:
         Items must reference distinct slot indexes: one batch is one
         pass over a slot run, not a replay log.
         """
+        require_transaction(self.device)
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
         for slot_index, content, used in items:  # reprolint: disable=RC001 -- each iteration transfers its reference into the inode slot same-iteration; in-place updates cannot be rolled back, so a mid-batch failure is left to fsck rather than half-undone
@@ -175,7 +178,9 @@ class Compressor:
                 self.refcount.incref(dup)
                 inode.replace_slot(slot_index, Slot(block_no=dup, used=used))
                 continue
-            if self.refcount.get(curr.block_no) == 1:
+            if self.refcount.get(curr.block_no) == 1 and self.device.can_overwrite_in_place(
+                curr.block_no
+            ):
                 # Sole reference: update the block in place, renew its record.
                 if self.dedup:
                     self.hashtable.delete_record(curr.block_no)
@@ -184,6 +189,25 @@ class Compressor:
                 if used != curr.used:
                     inode.set_used(slot_index, used)
                 self.stats.in_place_updates += 1
+                continue
+            if self.refcount.get(curr.block_no) == 1:
+                # Sole reference, but the block is part of the committed
+                # image: rewriting it in place would force the old bytes
+                # through the journal.  Shadow it instead — write a fresh
+                # block (direct, crash-safe) and defer freeing the old
+                # one to commit, so the previous image stays intact.
+                if self.dedup:
+                    self.hashtable.delete_record(curr.block_no)
+                self.refcount.decref(curr.block_no)
+                block_no = self.device.allocate()
+                to_write.append((block_no, padded))
+                if self.dedup:
+                    pending[padded] = block_no
+                self.refcount.set(block_no, 1)
+                inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
+                self.device.free(curr.block_no)
+                self.stats.blocks_freed += 1
+                self.stats.cow_allocations += 1
                 continue
             # Shared block: copy on write.
             self.refcount.decref(curr.block_no)
@@ -203,6 +227,7 @@ class Compressor:
     # -- release -----------------------------------------------------------------
     def release(self, slot: Slot) -> None:
         """Drop one reference to the slot's block, freeing it at zero."""
+        require_transaction(self.device)
         self.stats.releases += 1
         remaining = self.refcount.decref(slot.block_no)
         if remaining == 0:
@@ -230,5 +255,5 @@ class Compressor:
                 order.append(slot.block_no)
         # The scan is one scatter-gather sweep over the unique blocks.
         for content, block_no in zip(self.device.read_blocks(order), order):
-            self.hashtable.add_record(block_no, content)
+            self.hashtable.add_record(block_no, content)  # reprolint: disable=TXN001 -- blockHashTable is memory-only (rebuilt from the live blocks on every mount); reconstructing it mutates nothing durable, so no transaction is needed
         return len(order)

@@ -17,6 +17,7 @@ only ever see POSIX-like calls plus the extra pushdown APIs.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator, Optional, Sequence
 
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from repro.core.operations import OperationModule
 from repro.core.refcount import BlockRefCount
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.inode import Inode, Slot
+from repro.storage.journal import Journal, JournalDevice, transactional
 
 
 class FileExistsInEngine(Exception):
@@ -100,6 +102,12 @@ class CompressDB:
         self.device = device if device is not None else MemoryBlockDevice(block_size=block_size)
         self.page_capacity = page_capacity
         self._inodes: dict[str, Inode] = {}
+        self._txn_depth = 0
+        # Cached at construction: whether the device carries a superblock
+        # (and therefore whether flush/fsync publish the metadata image).
+        # Probing per sync point would charge a device read to every
+        # fsync on the in-memory database workloads.
+        self._formatted = sb.is_formatted(self.device)
         self._coalesce_bytes = (
             coalesce_blocks * self.device.block_size if coalesce_writes else 0
         )
@@ -121,7 +129,63 @@ class CompressDB:
     def block_size(self) -> int:
         return self.device.block_size
 
+    # -- transactions --------------------------------------------------------
+    @property
+    def journaled(self) -> bool:
+        """Whether mutations stage in a write-ahead journal."""
+        return isinstance(self.device, JournalDevice)
+
+    @contextlib.contextmanager
+    def _txn_scope(self):
+        """Join the ambient transaction without forcing a commit.
+
+        Every ``@transactional`` mutator enters this scope; nesting is
+        free, and durability is decided only at sync points (``fsync``,
+        ``flush``, or the outermost :meth:`transaction` exit).
+        """
+        self._txn_depth += 1
+        try:
+            yield
+        finally:
+            self._txn_depth -= 1
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """Explicit transaction scope: commit durably on clean exit.
+
+        Mutations inside the ``with`` block stage as one atomic unit;
+        the outermost successful exit runs :meth:`fsync` (publishing
+        the metadata image and committing the journal epoch).  An
+        exception propagates without committing, so on a journaled
+        device the whole scope simply never becomes durable.
+        """
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self.fsync()
+
+    def fsync(self, path: Optional[str] = None) -> None:
+        """Make every completed mutation durable on the device.
+
+        On a formatted (mountable) engine this publishes the full
+        metadata image and, when journaled, commits the journal epoch —
+        data synced here survives a crash at any later device write.
+        On an unformatted in-memory engine there is no durable image to
+        publish, so only the coalescing buffer of ``path`` is flushed.
+        """
+        if self._formatted:
+            self.flush()
+        else:
+            self._flush_pending(path)
+
     # -- namespace -----------------------------------------------------------
+    @transactional
     def create(self, path: str) -> None:
         """Create an empty file at ``path``."""
         if path in self._inodes:
@@ -177,6 +241,7 @@ class CompressDB:
         """
         self._flush_pending(path)
 
+    @transactional
     def unlink(self, path: str) -> None:
         """Delete a file, releasing every block it references."""
         inode = self._inode_raw(path)
@@ -185,7 +250,15 @@ class CompressDB:
             self.compressor.release(slot)
         del self._inodes[path]
 
+    @transactional
     def rename(self, old: str, new: str) -> None:
+        """Move a file to a new name.
+
+        In memory this is a dict move; durably it is atomic, because
+        the namespace only exists inside the serialized metadata image
+        — any published image carries either the old name or the new
+        one, never both or neither.
+        """
         if new in self._inodes:
             raise FileExistsInEngine(new)
         self._inodes[new] = self._inode_raw(old)
@@ -194,6 +267,7 @@ class CompressDB:
         if buffered:
             self._pending[new] = buffered
 
+    @transactional
     def copy_file(self, src: str, dst: str) -> None:
         """Reflink-style copy: share every block, touch no data.
 
@@ -252,6 +326,7 @@ class CompressDB:
             path=path, slot_index=slot_index, data=bytearray(raw[: slot.used])
         )
 
+    @transactional
     def release_block(self, handle: BlockHandle) -> None:
         """Release a checked-out block, triggering Algorithm 1.
 
@@ -328,6 +403,7 @@ class CompressDB:
             results.append(b"".join(parts))
         return results
 
+    @transactional
     def write(self, path: str, offset: int, data: bytes) -> int:
         """POSIX ``write``: overwrite in place, extend past end of file.
 
@@ -369,6 +445,7 @@ class CompressDB:
             self.ops.append(path, data[overlap:])
         return len(data)
 
+    @transactional
     def truncate(self, path: str, size: int) -> None:
         """Grow (zero-fill) or shrink the file to exactly ``size`` bytes."""
         inode = self.inode(path)
@@ -383,6 +460,7 @@ class CompressDB:
         """Whole-file read convenience."""
         return self.ops.extract(path, 0, self.inode(path).size)
 
+    @transactional
     def write_file(self, path: str, data: bytes) -> None:
         """Create-or-replace a file with ``data``."""
         if self.exists(path):
@@ -431,43 +509,70 @@ class CompressDB:
         *formatted* device (see :meth:`mount`) the full metadata image
         — namespace, slot tables, partition pointers — is additionally
         written to the superblock's metadata chain, making the engine
-        remountable from the raw device in another process.
+        remountable from the raw device in another process.  On a
+        journaled device this additionally commits the epoch: the new
+        image goes through the write-ahead log, so a crash anywhere
+        lands on exactly the previous or the new image.
         """
-        self._flush_pending()
-        self.refcount.persist()
-        if not sb.is_formatted(self.device):
-            return
-        old_head = sb.read_superblock(self.device)
-        if old_head != sb.NO_BLOCK:
-            __, old_chain = sb.read_chain(self.device, old_head)
-            sb.update_superblock(self.device, sb.NO_BLOCK)
-            for block_no in old_chain:
-                self.device.free(block_no)
-        payload = sb.serialize_metadata(
-            self._inodes, self.refcount.partition_blocks
-        )
-        head = sb.write_chain(self.device, payload)
-        sb.update_superblock(self.device, head)
+        with self._txn_scope():
+            self._flush_pending()
+            self.refcount.persist()
+            if self._formatted:
+                old_head = sb.read_superblock(self.device)
+                if old_head != sb.NO_BLOCK:
+                    __, old_chain = sb.read_chain(self.device, old_head)
+                    sb.update_superblock(self.device, sb.NO_BLOCK)
+                    for block_no in old_chain:
+                        self.device.free(block_no)
+                payload = sb.serialize_metadata(
+                    self._inodes, self.refcount.partition_blocks
+                )
+                head = sb.write_chain(self.device, payload)
+                sb.update_superblock(self.device, head)
+        if self.journaled:
+            self.device.commit()
 
     @classmethod
-    def mount(cls, device: BlockDevice, **engine_kwargs) -> "CompressDB":
+    def mount(
+        cls,
+        device: BlockDevice,
+        journal_blocks: Optional[int] = None,
+        **engine_kwargs,
+    ) -> "CompressDB":
         """Open (or create) a persistent engine on a formatted device.
 
-        A fresh device is formatted (block 0 becomes the superblock); a
-        device carrying an image has its namespace, refcounts, and free
-        list restored, and the memory-only blockHashTable rebuilt by a
-        single scan of the unique data blocks.
+        A fresh device is formatted (block 0 becomes the superblock,
+        optionally followed by ``journal_blocks`` write-ahead journal
+        blocks); a device carrying an image has its namespace,
+        refcounts, and free list restored, and the memory-only
+        blockHashTable rebuilt by a single scan of the unique data
+        blocks.  A journaled image first **recovers**: a committed but
+        unapplied journal batch is replayed to its home locations, a
+        torn batch is discarded.  ``journal_blocks`` only matters for a
+        fresh device — the region is fixed at format time.
         """
         if not sb.is_formatted(device):
             if device.total_blocks > 0:
                 raise sb.PersistenceError(
                     "device contains data but no CompressDB superblock"
                 )
-            engine = cls(device=device, **engine_kwargs)
-            sb.format_device(device)
-            return engine
+            sb.format_device(device, journal_blocks or 0)
+            if journal_blocks:
+                journal = Journal(
+                    sb.SUPERBLOCK_NO + 1, journal_blocks, device.block_size
+                )
+                device = JournalDevice(device, journal)
+            return cls(device=device, **engine_kwargs)
+        head, journal_start, journal_len = sb.read_layout(device)
+        journal_region: set[int] = set()
+        if journal_len:
+            journal = Journal(journal_start, journal_len, device.block_size)
+            journal.replay(device)
+            # The replayed batch may carry a newer superblock.
+            head, __, __ = sb.read_layout(device)
+            journal_region = journal.region_blocks()
+            device = JournalDevice(device, journal)
         engine = cls(device=device, **engine_kwargs)
-        head = sb.read_superblock(device)
         chain_blocks: list[int] = []
         if head != sb.NO_BLOCK:
             payload, chain_blocks = sb.read_chain(device, head)
@@ -479,6 +584,7 @@ class CompressDB:
             engine.refcount.restore()
         used = (
             {sb.SUPERBLOCK_NO}
+            | journal_region
             | set(chain_blocks)
             | set(engine.refcount.partition_blocks)
             | set(engine.refcount.live_blocks())
@@ -521,6 +627,7 @@ class CompressDB:
         }
 
     # -- maintenance ---------------------------------------------------------------------
+    @transactional
     def defragment(self, path: str) -> int:
         """Rewrite a file without holes; returns slots eliminated.
 
@@ -548,13 +655,17 @@ class CompressDB:
             self.compressor.release(slot)
         return before - inode.num_slots
 
-    def fsck(self) -> dict[str, int]:
-        """Verify and repair engine metadata against the inodes.
+    @transactional
+    def fsck(self, repair: bool = True) -> dict[str, int]:
+        """Verify (and with ``repair`` restore) cross-structure invariants.
 
-        Recomputes blockRefCount from the pointer tables, frees leaked
-        blocks (counted but unreferenced), and rebuilds blockHashTable.
-        Returns a report of what was repaired — all zeros on a healthy
-        engine.
+        Checks that blockRefCount matches the references actually held
+        by the pointer tables, that no counted block is orphaned, and
+        that the hole directory is consistent with the inodes; rebuilds
+        blockHashTable.  With ``repair`` (the default) refcounts are
+        recomputed and leaked blocks freed; without it the report only
+        counts violations, mutating nothing.  All-zero counters (other
+        than ``index_entries``) mean a healthy image.
         """
         self._flush_pending()
         observed: dict[int, int] = {}
@@ -564,18 +675,22 @@ class CompressDB:
         fixed = 0
         for block_no, expected in observed.items():
             if self.refcount.get(block_no) != expected:
-                self.refcount.set(block_no, expected)
+                if repair:
+                    self.refcount.set(block_no, expected)
                 fixed += 1
         leaked = 0
         for block_no in self.refcount.live_blocks():
             if block_no not in observed:
-                self.refcount.set(block_no, 0)
-                self.device.free(block_no)
+                if repair:
+                    self.refcount.set(block_no, 0)
+                    self.device.free(block_no)
                 leaked += 1
+        holes = self.holes.check_consistency()
         rebuilt = self.compressor.rebuild_hashtable(self.iter_inodes())
         return {
             "refcounts_fixed": fixed,
             "blocks_reclaimed": leaked,
+            "hole_inconsistencies": holes,
             "index_entries": rebuilt,
         }
 

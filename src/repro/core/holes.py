@@ -68,6 +68,28 @@ class HoleDirectory:
         """Estimated in-memory blockHole footprint, for Table 3."""
         return self.total_hole_count() * HOLE_MEMORY_BYTES
 
+    def check_consistency(self) -> int:
+        """Count disagreements between the hole view and the inodes.
+
+        Used by ``fsck``: re-enumerates every hole through
+        :meth:`holes_for` and cross-checks the inodes' cached
+        ``hole_slots``/``hole_bytes`` accounting plus each hole's
+        geometry (``offset + size`` must equal the block size, sizes
+        must be positive).  Returns the number of inconsistencies —
+        0 on a healthy image.
+        """
+        bad = 0
+        for path, inode in self._inodes.items():
+            holes = list(self.holes_for(path))
+            if len(holes) != inode.hole_slots:
+                bad += 1
+            if sum(hole.size for hole in holes) != inode.hole_bytes:
+                bad += 1
+            for hole in holes:
+                if hole.size <= 0 or hole.offset + hole.size != inode.block_size:
+                    bad += 1
+        return bad
+
     def serialize(self, path: str) -> bytes:
         """Pack the file's hole metadata for the on-disk copy."""
         records = list(self.holes_for(path))

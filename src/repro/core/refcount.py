@@ -87,6 +87,19 @@ class BlockRefCount:
             raise ValueError("block size too small for refcount partition")
         items = sorted(self._counts.items())
         needed = max(1, -(-len(items) // entries_per_block))
+        if not all(
+            self._device.can_overwrite_in_place(block_no)
+            for block_no in self._partition_blocks
+        ):
+            # The partition is part of a committed image on a journaled
+            # device: shadow it — fresh blocks take the new counts with
+            # direct writes, the old blocks are freed (deferred until
+            # the epoch commits), and the superblock's metadata image
+            # flips to the new list atomically.
+            old = self._partition_blocks
+            self._partition_blocks = [self._device.allocate() for __ in range(needed)]
+            for block_no in old:
+                self._device.free(block_no)
         while len(self._partition_blocks) < needed:
             self._partition_blocks.append(self._device.allocate())
         while len(self._partition_blocks) > needed:

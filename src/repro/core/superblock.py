@@ -27,11 +27,13 @@ from repro.storage.block_device import BlockDevice
 from repro.storage.inode import Inode, Slot
 
 _MAGIC = 0x434F4D5052444200  # "COMPRDB\0"
-_VERSION = 2
-# magic, version, block size, meta chain head.  The block size is
-# recorded so an image can never be re-opened (and silently reformatted)
-# under a different geometry than it was written with.
-_SUPERBLOCK = struct.Struct("<QIIQ")
+_VERSION = 3
+# magic, version, block size, meta chain head, journal start, journal
+# length.  The block size is recorded so an image can never be re-opened
+# (and silently reformatted) under a different geometry than it was
+# written with; the journal region is fixed at format time so recovery
+# can find it before any other structure is trusted.
+_SUPERBLOCK = struct.Struct("<QIIQII")
 _CHAIN_HEADER = struct.Struct("<QI")  # next block (NO_BLOCK = end), payload bytes
 NO_BLOCK = 0xFFFFFFFFFFFFFFFF
 
@@ -147,23 +149,43 @@ def deserialize_metadata(
         for __slot in range(slot_count):
             block_no, offset = _read_varint(payload, offset)
             used, offset = _read_varint(payload, offset)
-            inode.append_slot(Slot(block_no=block_no, used=used))
+            inode.append_slot(Slot(block_no=block_no, used=used))  # reprolint: disable=TXN001 -- deserialisation builds fresh in-memory inodes from an already-durable image at mount time; nothing on the device changes, so there is no transaction to be in
         inodes[path] = inode
     return inodes, partition_blocks
 
 
 # -- superblock ------------------------------------------------------------------------
 
-def format_device(device: BlockDevice) -> None:
-    """Initialise a fresh device: claim block 0 as the superblock."""
+def format_device(device: BlockDevice, journal_blocks: int = 0) -> None:
+    """Initialise a fresh device: claim block 0 plus the journal region.
+
+    ``journal_blocks`` contiguous blocks immediately after the
+    superblock are reserved for the write-ahead journal; 0 formats an
+    unjournaled image (the pre-v3 behaviour).
+    """
     block_no = device.allocate()
     if block_no != SUPERBLOCK_NO:
         raise PersistenceError(
             f"superblock must be block 0, device handed out {block_no}"
         )
+    journal_start = SUPERBLOCK_NO + 1
+    for index in range(journal_blocks):
+        claimed = device.allocate()
+        if claimed != journal_start + index:
+            raise PersistenceError(
+                f"journal region must be contiguous after the superblock, "
+                f"device handed out {claimed}"
+            )
     device.write_block(
         SUPERBLOCK_NO,
-        _SUPERBLOCK.pack(_MAGIC, _VERSION, device.block_size, NO_BLOCK),
+        _SUPERBLOCK.pack(
+            _MAGIC,
+            _VERSION,
+            device.block_size,
+            NO_BLOCK,
+            journal_start if journal_blocks else 0,
+            journal_blocks,
+        ),
     )
 
 
@@ -171,7 +193,7 @@ def is_formatted(device: BlockDevice) -> bool:
     if device.total_blocks == 0:
         return False
     try:
-        magic, version, __, __ = _SUPERBLOCK.unpack_from(
+        magic, version, __, __, __, __ = _SUPERBLOCK.unpack_from(
             device.read_block(SUPERBLOCK_NO), 0
         )
     except struct.error:  # pragma: no cover - blocks are fixed-size
@@ -179,11 +201,11 @@ def is_formatted(device: BlockDevice) -> bool:
     return magic == _MAGIC and version == _VERSION
 
 
-def read_superblock(device: BlockDevice) -> int:
-    """Validate the superblock; returns the metadata chain head."""
+def read_layout(device: BlockDevice) -> tuple[int, int, int]:
+    """Validate the superblock; returns (meta head, journal start, len)."""
     if not is_formatted(device):
         raise PersistenceError("device carries no CompressDB superblock")
-    __, __, block_size, head = _SUPERBLOCK.unpack_from(
+    __, __, block_size, head, journal_start, journal_len = _SUPERBLOCK.unpack_from(
         device.read_block(SUPERBLOCK_NO), 0
     )
     if block_size != device.block_size:
@@ -191,13 +213,29 @@ def read_superblock(device: BlockDevice) -> int:
             f"image was written with {block_size}-byte blocks but the "
             f"device is using {device.block_size}-byte blocks"
         )
+    return head, journal_start, journal_len
+
+
+def read_superblock(device: BlockDevice) -> int:
+    """Validate the superblock; returns the metadata chain head."""
+    head, __, __ = read_layout(device)
     return head
 
 
 def update_superblock(device: BlockDevice, meta_head: int) -> None:
+    # Re-read the current superblock so the journal geometry fixed at
+    # format time survives every metadata publish.
+    __, journal_start, journal_len = read_layout(device)
     device.write_block(
         SUPERBLOCK_NO,
-        _SUPERBLOCK.pack(_MAGIC, _VERSION, device.block_size, meta_head),
+        _SUPERBLOCK.pack(
+            _MAGIC,
+            _VERSION,
+            device.block_size,
+            meta_head,
+            journal_start,
+            journal_len,
+        ),
     )
 
 
@@ -216,7 +254,7 @@ def probe_block_size(path: str) -> int | None:
         return None
     if len(raw) < _SUPERBLOCK.size:
         return None
-    magic, version, block_size, __ = _SUPERBLOCK.unpack_from(raw, 0)
+    magic, version, block_size, __, __, __ = _SUPERBLOCK.unpack_from(raw, 0)
     if magic != _MAGIC or version != _VERSION or block_size <= 0:
         return None
     return block_size

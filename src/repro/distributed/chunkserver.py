@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.core.engine import CompressDB
 from repro.fs.compressfs import CompressFS
 from repro.fs.posix_ops import PosixOperations
 from repro.fs.vfs import PassthroughFS
@@ -37,6 +38,8 @@ class ChunkServer:
         profile: DeviceProfile = CLOUD_ESSD,
         stats: Optional[IOStats] = None,
         cache_blocks: int = 128,
+        durable: bool = False,
+        journal_blocks: int = 64,
     ) -> None:
         self.name = name
         self.compressed = compressed
@@ -47,8 +50,15 @@ class ChunkServer:
             stats=stats,
             cache_blocks=cache_blocks,
         )
+        # Kept for restart(): the journal and superblock live on the raw
+        # device, beneath any journaling wrapper the engine adds.
+        self._raw_device = device
+        self.durable = durable and compressed
         self.fs: Union[CompressFS, PassthroughFS]
-        if compressed:
+        if self.durable:
+            engine = CompressDB.mount(device, journal_blocks=journal_blocks)
+            self.fs = CompressFS(engine=engine)
+        elif compressed:
             self.fs = CompressFS(device=device)
         else:
             self.fs = PassthroughFS(device=device)
@@ -63,6 +73,27 @@ class ChunkServer:
         """Bring the node back (its data survived the outage)."""
         self.online = True
 
+    def restart(self) -> None:
+        """Cold restart of a *durable* server: remount from the device.
+
+        All in-memory state is discarded; the engine recovers from the
+        journal and the persisted metadata image, so the server resumes
+        with every committed chunk mutation — it replays its own log
+        rather than resyncing chunks from the master.
+        """
+        if not self.durable:
+            raise ValueError(f"chunkserver {self.name} is not durable")
+        engine = CompressDB.mount(self._raw_device)
+        self.fs = CompressFS(engine=engine)
+        self._posix_ops = PosixOperations(self.fs)
+        self.online = True
+
+    def _commit(self) -> None:
+        """Group-commit hook: durable servers sync after each mutation RPC."""
+        if self.durable:
+            assert isinstance(self.fs, CompressFS)
+            self.fs.engine.fsync()
+
     def _path(self, chunk_id: str) -> str:
         self._ensure_online()
         return f"/chunks/{chunk_id}"
@@ -74,9 +105,11 @@ class ChunkServer:
     # -- chunk lifecycle -----------------------------------------------------
     def create_chunk(self, chunk_id: str) -> None:
         self.fs.write_file(self._path(chunk_id), b"")
+        self._commit()
 
     def delete_chunk(self, chunk_id: str) -> None:
         self.fs.unlink(self._path(chunk_id))
+        self._commit()
 
     def chunk_length(self, chunk_id: str) -> int:
         return self.fs.stat(self._path(chunk_id)).size
@@ -110,7 +143,9 @@ class ChunkServer:
         return results
 
     def write(self, chunk_id: str, offset: int, data: bytes) -> int:
-        return self.fs._pwrite(self._path(chunk_id), offset, data)
+        written = self.fs._pwrite(self._path(chunk_id), offset, data)
+        self._commit()
+        return written
 
     def writev(self, requests: list[tuple[str, int, bytes]]) -> int:
         """Apply several ``(chunk_id, offset, data)`` replaces in one RPC.
@@ -122,10 +157,12 @@ class ChunkServer:
         self._ensure_online()
         for chunk_id, offset, data in requests:
             self.replace(chunk_id, offset, data)
+        self._commit()
         return sum(len(data) for __, __, data in requests)
 
     def truncate(self, chunk_id: str, size: int) -> None:
         self.fs.truncate(self._path(chunk_id), size)
+        self._commit()
 
     # -- pushed-down operations -----------------------------------------------------
     # On a CompressDB server these run against the compressed form; on a
@@ -138,6 +175,7 @@ class ChunkServer:
             self.fs.ops.insert(path, offset, data)
         else:
             self._posix_ops.insert(path, offset, data)
+        self._commit()
 
     def delete_range(self, chunk_id: str, offset: int, length: int) -> None:
         path = self._path(chunk_id)
@@ -146,6 +184,7 @@ class ChunkServer:
             self.fs.ops.delete(path, offset, length)
         else:
             self._posix_ops.delete(path, offset, length)
+        self._commit()
 
     def search(self, chunk_id: str, pattern: bytes) -> list[int]:
         path = self._path(chunk_id)
@@ -187,6 +226,7 @@ class ChunkServer:
             self.fs.ops.append(path, data)
         else:
             self.fs.append_file(path, data)
+        self._commit()
 
     def replace(self, chunk_id: str, offset: int, data: bytes) -> None:
         path = self._path(chunk_id)
@@ -195,6 +235,7 @@ class ChunkServer:
             self.fs.ops.replace(path, offset, data)
         else:
             self.fs._pwrite(path, offset, data)
+        self._commit()
 
     # -- accounting --------------------------------------------------------------------
     def logical_bytes(self) -> int:

@@ -109,10 +109,15 @@ class CompressFS(FileSystem):
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
 
-    def fsync(self, fd: int) -> None:
-        """Commit the file's coalesced pending appends to the device."""
-        state = self._fds.lookup(fd)
-        self.engine.sync(state.path)
+    def _sync(self, path: str) -> None:
+        """``fsync``/``close`` durability: reach the device, not a buffer.
+
+        On a mounted (formatted) engine this publishes the metadata
+        image and commits the journal epoch with its write barrier; on
+        a plain in-memory engine it degrades to flushing the coalescing
+        buffer.
+        """
+        self.engine.fsync(path)
 
     def write_file(self, path: str, data: bytes) -> None:
         """Whole-file writes commit immediately as one batched store."""

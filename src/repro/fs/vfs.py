@@ -86,6 +86,15 @@ class FileSystem:
     def _truncate(self, path: str, size: int) -> None:
         raise NotImplementedError
 
+    def _sync(self, path: str) -> None:
+        """Make the file's completed writes durable on the device.
+
+        The default is a no-op: the in-process devices used by the
+        baseline file systems are always durable.  Journaled file
+        systems override this to commit the open transaction and issue
+        the write barrier.
+        """
+
     def _list(self) -> list[str]:
         raise NotImplementedError
 
@@ -137,7 +146,12 @@ class FileSystem:
         return fd
 
     def close(self, fd: int) -> None:
+        state = self._fds.lookup(fd)
         self._fds.release(fd)
+        # POSIX does not promise durability on close, but every database
+        # in this repo treats close-after-write as a commit point (as
+        # ext4's auto_da_alloc heuristic does), so map it to a sync.
+        self._sync(state.path)
 
     def lseek(self, fd: int, offset: int, whence: int = fdmod.SEEK_SET) -> int:
         state = self._fds.lookup(fd)
@@ -199,8 +213,9 @@ class FileSystem:
         self._truncate(path, size)
 
     def fsync(self, fd: int) -> None:
-        """Durability hook; the in-process devices are always durable."""
-        self._fds.lookup(fd)
+        """Make the file's completed writes durable (commit + barrier)."""
+        state = self._fds.lookup(fd)
+        self._sync(state.path)
 
     # -- whole-file convenience -----------------------------------------------------
     def read_file(self, path: str) -> bytes:

@@ -1,0 +1,31 @@
+"""Top-level alias for the write-ahead journal subsystem.
+
+The implementation lives in :mod:`repro.storage.journal` (it is part of
+the storage substrate: the engine, file systems, and cluster all build
+on it).  This module re-exports the public names so the subsystem can
+be imported as ``repro.journal``, matching the design documents.
+"""
+
+from repro.storage.journal import (
+    COMMIT_MAGIC,
+    DESC_MAGIC,
+    Journal,
+    JournalDevice,
+    JournalError,
+    Transaction,
+    TransactionError,
+    require_transaction,
+    transactional,
+)
+
+__all__ = [
+    "COMMIT_MAGIC",
+    "DESC_MAGIC",
+    "Journal",
+    "JournalDevice",
+    "JournalError",
+    "Transaction",
+    "TransactionError",
+    "require_transaction",
+    "transactional",
+]

@@ -3,10 +3,22 @@
 from repro.storage.block_device import (
     BlockDevice,
     BlockDeviceError,
+    CrashPoint,
+    CrashPointDevice,
+    DeviceWrapper,
     FileBlockDevice,
     MemoryBlockDevice,
 )
 from repro.storage.inode import Inode, InodeError, PointerPage, Slot
+from repro.storage.journal import (
+    Journal,
+    JournalDevice,
+    JournalError,
+    Transaction,
+    TransactionError,
+    require_transaction,
+    transactional,
+)
 from repro.storage.simclock import (
     CLOUD_ESSD,
     DATACENTER_LAN,
@@ -23,13 +35,19 @@ __all__ = [
     "BlockDevice",
     "BlockDeviceError",
     "CLOUD_ESSD",
+    "CrashPoint",
+    "CrashPointDevice",
     "DATACENTER_LAN",
     "DeviceProfile",
+    "DeviceWrapper",
     "FileBlockDevice",
     "HDD_5400RPM",
     "IOStats",
     "Inode",
     "InodeError",
+    "Journal",
+    "JournalDevice",
+    "JournalError",
     "MemoryBlockDevice",
     "NetworkProfile",
     "PointerPage",
@@ -38,4 +56,8 @@ __all__ = [
     "Slot",
     "StatsRegistry",
     "Stopwatch",
+    "Transaction",
+    "TransactionError",
+    "require_transaction",
+    "transactional",
 ]

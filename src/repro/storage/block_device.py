@@ -206,6 +206,30 @@ class BlockDevice:
         else:
             self.stats.record_metadata_read()
 
+    # -- durability hooks ---------------------------------------------
+    def barrier(self) -> None:
+        """Write barrier: everything written so far is durable before
+        anything written afterwards.
+
+        The journal (:mod:`repro.storage.journal`) issues this between
+        the journal append and the in-place apply so a crash can never
+        observe applied blocks without a committed journal record.  The
+        in-memory backend is trivially ordered; file-backed devices
+        flush their buffered data.
+        """
+
+    def can_overwrite_in_place(self, block_no: int) -> bool:
+        """Whether ``block_no`` may be rewritten in place without journaling.
+
+        A plain device applies writes synchronously, so in-place
+        updates are always allowed.  A journaled device only permits
+        them for blocks allocated since the last commit (nothing
+        durable references those yet); everything older must go through
+        copy-on-write or the journal, or a crash mid-write would
+        corrupt the last committed image.
+        """
+        return True
+
     # -- backend hooks ------------------------------------------------
     def _grow_to(self, block_no: int) -> None:
         raise NotImplementedError
@@ -280,6 +304,10 @@ class FileBlockDevice(BlockDevice):
     def close(self) -> None:
         self._file.close()
 
+    def barrier(self) -> None:
+        """Flush buffered bytes so host-visible ordering matches ours."""
+        self._file.flush()
+
     def __enter__(self) -> "FileBlockDevice":
         return self
 
@@ -306,3 +334,109 @@ class FileBlockDevice(BlockDevice):
 
     def _erase(self, block_no: int) -> None:
         self._write(block_no, b"\x00" * self.block_size)
+
+
+class DeviceWrapper:
+    """Base for devices that decorate another device.
+
+    Unknown attributes (``block_size``, ``stats``, ``clock``,
+    ``total_blocks``, ``rebuild_free_list``, …) delegate to the wrapped
+    device.  The single-block conveniences are pinned here so they route
+    through the *wrapper's* batched methods — delegating them to the
+    inner device would silently bypass any interception a subclass does
+    in ``read_blocks``/``write_blocks``.
+    """
+
+    def __init__(self, inner: BlockDevice) -> None:
+        self.inner = inner
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def read_block(self, block_no: int) -> bytes:
+        return self.read_blocks([block_no])[0]
+
+    def read_blocks(self, block_nos: Sequence[int]) -> list[bytes]:
+        return self.inner.read_blocks(block_nos)
+
+    def write_block(self, block_no: int, data: bytes) -> None:
+        self.write_blocks([(block_no, data)])
+
+    def write_blocks(self, pairs: Sequence[tuple[int, bytes]]) -> None:
+        self.inner.write_blocks(pairs)
+
+
+class CrashPoint(Exception):
+    """The simulated process died at an injected crash point."""
+
+
+class CrashPointDevice(DeviceWrapper):
+    """Fault injector: kill the process at the Nth device block write.
+
+    ``crash_after=k`` means the k-th individual block write (1-based,
+    counted across batches: a ``write_blocks`` of n blocks is n writes)
+    never completes.  Writes before it are applied, the k-th is dropped
+    — or, with ``tear=True``, half-applied, modelling a torn sector —
+    then :class:`CrashPoint` is raised and the device goes dead: every
+    further operation raises.  Allocation-table updates and frees are
+    metadata traffic and are not counted; the crash-point matrix sweeps
+    data writes, which is where torn state can corrupt an image.
+
+    Remount the *inner* device afterwards to exercise recovery, exactly
+    as a real machine would reboot onto whatever hit the platter.
+    """
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        crash_after: Optional[int] = None,
+        tear: bool = False,
+    ) -> None:
+        super().__init__(inner)
+        self.crash_after = crash_after
+        self.tear = tear
+        self.writes_seen = 0
+        self.dead = False
+
+    def _ensure_alive(self) -> None:
+        if self.dead:
+            raise CrashPoint("device is dead: crash point already fired")
+
+    def _crash(self, pairs: list[tuple[int, bytes]]) -> None:
+        assert self.crash_after is not None
+        survivors = self.crash_after - 1 - self.writes_seen
+        self.writes_seen = self.crash_after
+        if survivors > 0:
+            self.inner.write_blocks(pairs[:survivors])
+        if self.tear and survivors < len(pairs):
+            block_no, data = pairs[survivors]
+            block_size = self.inner.block_size
+            padded = data + b"\x00" * (block_size - len(data))
+            old = self.inner.read_block(block_no)
+            half = block_size // 2
+            self.inner.write_blocks([(block_no, padded[:half] + old[half:])])
+        self.dead = True
+        raise CrashPoint(f"simulated crash at device write {self.crash_after}")
+
+    def write_blocks(self, pairs: Sequence[tuple[int, bytes]]) -> None:
+        self._ensure_alive()
+        batch = list(pairs)
+        if (
+            self.crash_after is not None
+            and self.writes_seen + len(batch) >= self.crash_after
+        ):
+            self._crash(batch)
+        self.writes_seen += len(batch)
+        self.inner.write_blocks(batch)
+
+    def read_blocks(self, block_nos: Sequence[int]) -> list[bytes]:
+        self._ensure_alive()
+        return self.inner.read_blocks(block_nos)
+
+    def allocate(self) -> int:
+        self._ensure_alive()
+        return self.inner.allocate()
+
+    def free(self, block_no: int) -> None:
+        self._ensure_alive()
+        self.inner.free(block_no)

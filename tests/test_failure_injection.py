@@ -117,3 +117,312 @@ class TestMongoCrashRecovery:
         fs.truncate(path, fs.stat(path).size - 2)
         recovered = MiniMongo(fs)
         assert recovered["c"].find_one({"_id": "doc"})["v"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine-level crash points: the write-ahead journal under CrashPointDevice
+# ---------------------------------------------------------------------------
+
+import copy
+
+from repro.core.engine import CompressDB
+from repro.distributed.chunkserver import ChunkServer
+from repro.storage.block_device import (
+    CrashPoint,
+    CrashPointDevice,
+    MemoryBlockDevice,
+)
+from repro.storage.simclock import SimClock
+
+
+def _journaled_template(journal_blocks=24, block_size=256):
+    """A formatted, journaled device with one committed file on it."""
+    device = MemoryBlockDevice(block_size=block_size)
+    engine = CompressDB.mount(device, journal_blocks=journal_blocks)
+    engine.write_file("/keep", b"pre-existing data " * 30)
+    engine.fsync()
+    return device
+
+
+def _engine_state(engine):
+    return {path: engine.read_file(path) for path in engine.list_files()}
+
+
+def _assert_clean(engine):
+    report = engine.fsck(repair=False)
+    violations = (
+        report["refcounts_fixed"]
+        + report["blocks_reclaimed"]
+        + report["hole_inconsistencies"]
+    )
+    assert violations == 0, f"fsck found violations: {report}"
+    engine.check_invariants()
+
+
+def _mixed_workload(engine):
+    """Mixed create/write/insert/truncate/rename/unlink ops, one commit each.
+
+    A generator: yields after every fsync so the harness can snapshot
+    (when observing) or count completed operations (when crashing).
+    """
+    engine.create("/new")
+    engine.write("/new", 0, b"abc" * 100)
+    engine.fsync()
+    yield
+    engine.ops.insert("/keep", 7, b"MID")
+    engine.fsync()
+    yield
+    engine.truncate("/keep", 100)
+    engine.fsync()
+    yield
+    engine.rename("/new", "/moved")
+    engine.fsync()
+    yield
+    engine.unlink("/keep")
+    engine.fsync()
+    yield
+
+
+class TestEngineCrashMatrix:
+    """Kill the process at every device write k; remount; verify.
+
+    The acceptance criterion of the journal: for every crash point the
+    remounted image must pass a clean ``fsck`` and its file contents
+    must equal *exactly* the pre- or post-image of the interrupted
+    operation — never a blend, never a loss of an earlier commit.
+    """
+
+    def _snapshots(self, template):
+        device = copy.deepcopy(template)
+        engine = CompressDB.mount(device)
+        snaps = [_engine_state(engine)]
+        for __ in _mixed_workload(engine):
+            snaps.append(_engine_state(engine))
+        return snaps
+
+    def _sweep(self, tear):
+        template = _journaled_template()
+        snaps = self._snapshots(template)
+        crash_points = 0
+        k = 1
+        while True:
+            device = copy.deepcopy(template)
+            wrapped = CrashPointDevice(device, crash_after=k, tear=tear)
+            completed = 0
+            finished = False
+            try:
+                engine = CompressDB.mount(wrapped)
+                for __ in _mixed_workload(engine):
+                    completed += 1
+                finished = True
+            except CrashPoint:
+                pass
+            if finished:
+                break
+            recovered = CompressDB.mount(device)
+            state = _engine_state(recovered)
+            _assert_clean(recovered)
+            pre = snaps[completed]
+            post = snaps[completed + 1] if completed + 1 < len(snaps) else None
+            assert state == pre or state == post, (
+                f"crash at write {k} (after op {completed}): recovered "
+                f"state matches neither the pre- nor the post-image"
+            )
+            crash_points += 1
+            k += 1
+        # The sweep must actually have exercised the workload.
+        assert crash_points > 10
+        return crash_points
+
+    def test_every_crash_point_recovers_to_pre_or_post_image(self):
+        self._sweep(tear=False)
+
+    def test_torn_block_at_crash_point_is_discarded(self):
+        """The interrupted write lands half-old/half-new: recovery must
+        detect the torn journal record via its CRC and discard it."""
+        self._sweep(tear=True)
+
+
+class TestFsyncDurability:
+    """Satellite: data synced by fsync survives any later crash."""
+
+    def test_crash_after_fsync_never_loses_synced_data(self):
+        template = _journaled_template()
+        payload = b"must survive " * 64
+        # Write + fsync on a pristine copy, counting the writes it takes.
+        device = copy.deepcopy(template)
+        counter = CrashPointDevice(device, crash_after=None)
+        engine = CompressDB.mount(counter)
+        engine.write_file("/durable", payload)
+        engine.fsync()
+        writes_to_sync = counter.writes_seen
+        # Now crash at every write *after* that fsync during further
+        # mutations: /durable must always come back intact.
+        for k in range(writes_to_sync + 1, writes_to_sync + 30):
+            device = copy.deepcopy(template)
+            wrapped = CrashPointDevice(device, crash_after=k)
+            try:
+                engine = CompressDB.mount(wrapped)
+                engine.write_file("/durable", payload)
+                engine.fsync()
+                engine.write_file("/later-1", b"x" * 900)
+                engine.fsync()
+                engine.ops.insert("/keep", 3, b"yyy")
+                engine.fsync()
+                engine.unlink("/durable")
+                engine.fsync()
+                break  # workload finished before write k: sweep done
+            except CrashPoint:
+                pass
+            recovered = CompressDB.mount(device)
+            if k <= writes_to_sync:
+                continue
+            state = _engine_state(recovered)
+            # Once fsync returned, the file exists with the synced bytes
+            # until the unlink *commits* — a crash can only land on
+            # images where /durable is whole (or already unlinked).
+            if "/durable" in state:
+                assert state["/durable"] == payload
+            else:
+                # The unlink committed; the rest of the image must be
+                # consistent.
+                _assert_clean(recovered)
+
+    def test_fsync_reaches_the_device_not_a_buffer(self):
+        """Regression (satellite): FileSystem.fsync used to only flush
+        the engine's coalescing buffer; it must commit the journal."""
+        from repro.fs.compressfs import CompressFS
+        from repro.fs import fd as fdmod
+
+        template = _journaled_template()
+        device = copy.deepcopy(template)
+        engine = CompressDB.mount(device)
+        fs = CompressFS(engine=engine)
+        fd = fs.open("/synced", fdmod.O_CREAT | fdmod.O_WRONLY)
+        fs.write(fd, b"synced bytes")
+        fs.fsync(fd)
+        # Crash: discard all in-memory state, remount the raw device.
+        recovered = CompressDB.mount(device)
+        assert recovered.read_file("/synced") == b"synced bytes"
+        _assert_clean(recovered)
+
+    def test_close_is_a_commit_point(self):
+        from repro.fs.compressfs import CompressFS
+        from repro.fs import fd as fdmod
+
+        device = copy.deepcopy(_journaled_template())
+        fs = CompressFS(engine=CompressDB.mount(device))
+        fd = fs.open("/closed", fdmod.O_CREAT | fdmod.O_WRONLY)
+        fs.write(fd, b"closed bytes")
+        fs.close(fd)
+        recovered = CompressDB.mount(device)
+        assert recovered.read_file("/closed") == b"closed bytes"
+
+    def test_unflushed_changes_after_last_fsync_are_lost_cleanly(self):
+        """The converse guarantee: uncommitted staged writes vanish as a
+        unit — the previous image comes back whole."""
+        template = _journaled_template()
+        device = copy.deepcopy(template)
+        engine = CompressDB.mount(device)
+        engine.write_file("/never-synced", b"vanishes")
+        # No fsync: simulated crash by dropping the engine.
+        recovered = CompressDB.mount(device)
+        assert not recovered.exists("/never-synced")
+        assert recovered.read_file("/keep") == b"pre-existing data " * 30
+        _assert_clean(recovered)
+
+
+class TestRenameAtomicity:
+    """Satellite: rename lands on old name or new name, never both/neither."""
+
+    def test_rename_is_atomic_at_every_crash_point(self):
+        template = _journaled_template()
+        original = b"pre-existing data " * 30
+        k = 1
+        swept = 0
+        while True:
+            device = copy.deepcopy(template)
+            wrapped = CrashPointDevice(device, crash_after=k)
+            finished = False
+            try:
+                engine = CompressDB.mount(wrapped)
+                engine.rename("/keep", "/renamed")
+                engine.fsync()
+                finished = True
+            except CrashPoint:
+                pass
+            recovered = CompressDB.mount(device)
+            names = set(recovered.list_files())
+            assert names in ({"/keep"}, {"/renamed"}), (
+                f"crash at write {k}: rename left names {names}"
+            )
+            surviving = next(iter(names))
+            assert recovered.read_file(surviving) == original
+            _assert_clean(recovered)
+            if finished:
+                break
+            swept += 1
+            k += 1
+        assert swept > 0
+
+
+class TestJournalReplayIdempotency:
+    """Satellite: mounting (= replaying) twice converges to one state."""
+
+    def test_double_replay_is_a_noop(self):
+        template = _journaled_template()
+        device = copy.deepcopy(template)
+        # Crash mid-commit so the journal carries a committed batch the
+        # home locations have not fully absorbed.
+        wrapped = CrashPointDevice(device, crash_after=None)
+        engine = CompressDB.mount(wrapped)
+        engine.ops.insert("/keep", 5, b"JJJ")
+        try:
+            wrapped.crash_after = wrapped.writes_seen + 2
+            engine.fsync()
+        except CrashPoint:
+            pass
+        once = copy.deepcopy(device)
+        CompressDB.mount(once)
+        dump_once = [once.read_block(i) for i in range(once.total_blocks)]
+        twice = copy.deepcopy(device)
+        CompressDB.mount(twice)
+        CompressDB.mount(twice)
+        dump_twice = [twice.read_block(i) for i in range(twice.total_blocks)]
+        assert dump_once == dump_twice
+
+
+class TestChunkServerRestart:
+    """Tentpole integration: a durable chunkserver replays its journal
+    on restart instead of resyncing chunks from the master."""
+
+    def _server(self):
+        return ChunkServer(
+            "cs-1", clock=SimClock(), compressed=True, durable=True,
+            block_size=256,
+        )
+
+    def test_restart_replays_committed_chunk_mutations(self):
+        server = self._server()
+        server.create_chunk("c1")
+        server.append("c1", b"first segment ")
+        server.append("c1", b"second segment")
+        server.insert("c1", 0, b">>")
+        server.restart()
+        assert server.read("c1", 0, 100) == b">>first segment second segment"
+
+    def test_restart_discards_nothing_that_was_acknowledged(self):
+        server = self._server()
+        server.create_chunk("a")
+        server.write("a", 0, b"A" * 700)
+        server.create_chunk("b")
+        server.write("b", 0, b"B" * 300)
+        server.delete_chunk("a")
+        server.restart()
+        assert server.chunk_ids() == ["b"]
+        assert server.read("b", 0, 300) == b"B" * 300
+
+    def test_nondurable_server_cannot_restart(self):
+        server = ChunkServer("cs-2", clock=SimClock(), durable=False)
+        with pytest.raises(ValueError):
+            server.restart()

@@ -55,6 +55,7 @@ class TestRefcountRule:
                 return None
             """,
             self.PATH,
+            rules=["RC001"],
         )
         assert rule_ids(findings) == ["RC001"]
         assert "leak" in active(findings)[0].message
@@ -467,9 +468,117 @@ class TestRawMutationRule:
 # Framework: suppressions, registry, module mapping, JSON
 # ---------------------------------------------------------------------------
 
+class TestTransactionRule:
+    PATH = "src/repro/core/txnfixture.py"
+
+    def test_unscoped_metadata_mutation_flagged(self):
+        findings = lint(
+            """
+            def sneaky_delete(self, path):
+                inode = self.inode(path)
+                self.refcount.decref(inode.slot_at(0).block_no)
+                inode.remove_slot(0)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert len(active(findings)) == 2
+        assert "outside a transaction scope" in active(findings)[0].message
+
+    def test_refcount_set_qualified_by_receiver(self):
+        findings = lint(
+            """
+            def tune(self, options, block_no):
+                options.set("verbose", True)
+                self.refcount.set(block_no, 2)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        # Only the refcount.set is a metadata mutation.
+        assert len(active(findings)) == 1
+        assert "refcount.set" in active(findings)[0].message
+
+    def test_transactional_decorator_protects(self):
+        findings = lint(
+            """
+            @transactional
+            def insert(self, inode, slot):
+                self.refcount.incref(slot.block_no)
+                inode.insert_slot(0, slot)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert active(findings) == []
+
+    def test_require_transaction_guard_protects(self):
+        findings = lint(
+            """
+            def _append_data(self, inode, slot):
+                require_transaction(self.device)
+                inode.append_slot(slot)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert active(findings) == []
+
+    def test_with_transaction_scope_protects(self):
+        findings = lint(
+            """
+            def batch(self, engine, inode, slot):
+                with engine.transaction():
+                    inode.append_slot(slot)
+                with self._txn_scope():
+                    self.refcount.incref(slot.block_no)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert active(findings) == []
+
+    def test_mutation_after_with_block_still_flagged(self):
+        findings = lint(
+            """
+            def leaky(self, engine, inode, slot):
+                with engine.transaction():
+                    inode.append_slot(slot)
+                inode.remove_slot(0)
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert len(active(findings)) == 1
+        assert "remove_slot" in active(findings)[0].message
+
+    def test_structure_modules_exempt(self):
+        findings = lint(
+            """
+            def persist(self):
+                self.refcount.set(1, 2)
+            """,
+            "src/repro/core/refcount.py",
+            rules=["TXN001"],
+        )
+        assert active(findings) == []
+
+    def test_suppression_with_justification(self):
+        findings = lint(
+            """
+            def rebuild(self, table, block_no, content):
+                table.add_record(block_no, content)  # reprolint: disable=TXN001 -- memory-only index rebuild
+            """,
+            self.PATH,
+            rules=["TXN001"],
+        )
+        assert active(findings) == []
+        assert len(findings) == 1 and findings[0].suppressed
+
+
 class TestFramework:
     def test_all_five_rules_registered(self):
-        assert {"RC001", "IO001", "LAYER001", "LOCK001", "MUT001"} <= set(
+        assert {"RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "TXN001"} <= set(
             CHECKER_REGISTRY
         )
 
