@@ -69,7 +69,7 @@ def _measure(engine: CompressDB, fn):
     result = fn()
     wall = time.perf_counter() - wall_before
     sim = engine.device.clock.now - sim_before
-    stats = engine.device.stats
+    stats = engine.device.stats.snapshot()
     # Device transactions: batched ops count once however many blocks
     # they cover; singles count one each.
     reads = stats.batched_reads + (stats.block_reads - stats.batched_blocks_read)

@@ -5,12 +5,19 @@ Run with::
     python examples/quickstart.py
 """
 
+from repro.core.engine import CompressDB
 from repro.fs import CompressFS, O_CREAT, O_RDWR
+from repro.storage.block_device import MemoryBlockDevice
 
 
 def main() -> None:
-    # A CompressDB-backed file system on an in-memory block device.
-    fs = CompressFS(block_size=1024)
+    # A CompressDB-backed file system on a journaled in-memory device:
+    # the full stack (VFS -> engine -> compressor -> journal -> device),
+    # so `compressdb trace examples/quickstart.py` sees every layer.
+    engine = CompressDB.mount(
+        MemoryBlockDevice(block_size=1024), journal_blocks=128
+    )
+    fs = CompressFS(engine=engine)
 
     # POSIX-style usage — what an unmodified database would do.
     fd = fs.open("/hello.txt", O_RDWR | O_CREAT)
@@ -50,11 +57,21 @@ def main() -> None:
 
     # Simulate a remount: the refcount partition persists, the hash
     # table is rebuilt by scanning unique blocks once.
+    engine.fsync()
     scanned = engine.remount()
     print(f"remount rebuilt the index from {scanned} unique blocks")
     print("data intact:", fs.read_file("/hello.txt")[:17])
     engine.check_invariants()
     print("all engine invariants hold")
+
+    # One snapshot carries every layer's metrics (DESIGN.md §9).
+    snap = fs.metrics()
+    print(
+        "metrics: "
+        f"{snap.counter('storage.device.block_writes')} block writes, "
+        f"{snap.counter('journal.commits')} journal commits, "
+        f"{snap.counter('engine.compressor.dedup_hits')} dedup hits"
+    )
 
 
 if __name__ == "__main__":

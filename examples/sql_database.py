@@ -29,7 +29,7 @@ def main() -> None:
     db.execute("CREATE INDEX idx_city ON users (city)")
     db.fs.device.stats.reset()
     oslo = db.execute("SELECT id FROM users WHERE city = 'oslo'")
-    indexed_reads = db.fs.device.stats.block_reads
+    indexed_reads = db.fs.device.stats.snapshot().block_reads
     print(f"indexed lookup: {len(oslo)} rows, {indexed_reads} block reads")
 
     # Join: revenue per city.

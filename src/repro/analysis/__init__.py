@@ -34,6 +34,7 @@ from repro.analysis import rules_io  # noqa: E402,F401
 from repro.analysis import rules_layering  # noqa: E402,F401
 from repro.analysis import rules_locks  # noqa: E402,F401
 from repro.analysis import rules_mutation  # noqa: E402,F401
+from repro.analysis import rules_obs  # noqa: E402,F401
 from repro.analysis import rules_refcount  # noqa: E402,F401
 from repro.analysis import rules_txn  # noqa: E402,F401
 

@@ -146,6 +146,7 @@ class Analyzer:
         from repro.analysis import rules_layering  # noqa: F401
         from repro.analysis import rules_locks  # noqa: F401
         from repro.analysis import rules_mutation  # noqa: F401
+        from repro.analysis import rules_obs  # noqa: F401
         from repro.analysis import rules_refcount  # noqa: F401
         from repro.analysis import rules_txn  # noqa: F401
 

@@ -33,6 +33,7 @@ from repro.analysis.symbols import dotted_name
 #: Package ranks, lowest = closest to the hardware.  Importing from a
 #: strictly higher rank inverts the layer cake.
 LAYER_RANKS = {
+    "repro.obs": 0,
     "repro.storage": 0,
     "repro.journal": 0,
     "repro.compression": 0,
@@ -55,6 +56,7 @@ _CONSUMER_PACKAGES = ("repro.databases", "repro.workloads")
 _CONSUMER_ALLOWED_PREFIXES = (
     "repro.core.api",
     "repro.fs.",
+    "repro.obs",  # observability, not a data path
     "repro.storage.simclock",  # timing/cost model, not a data path
     "repro.storage.stats",  # observability, not a data path
 )

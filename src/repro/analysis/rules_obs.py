@@ -1,0 +1,112 @@
+"""OBS001 — direct mutation of a metric instrument outside repro.obs.
+
+The observability redesign (DESIGN.md §9) routes every counter through
+the registry accessors: components call ``stats.record_*`` /
+``stats.record(...)`` or hold a :class:`~repro.obs.metrics.Counter` and
+``inc()`` it.  Writing a stats attribute directly
+(``self.stats.commits += 1``) bypasses the registry — the metric the
+exporters render silently diverges from what the component believes it
+counted — and poking ``instrument.value`` or calling
+``instrument.force(...)`` defeats counter monotonicity, which the
+snapshot ``delta``/``merge`` algebra relies on.
+
+Flagged, everywhere under ``repro`` except ``repro.obs`` itself:
+
+- assignment or augmented assignment to an attribute of a ``stats``
+  object (``x.stats.<field> = / += ...``, or a bare name ``stats``);
+- assignment or augmented assignment to ``.value`` on a name bound
+  from a ``counter()`` / ``gauge()`` / ``histogram()`` registry call;
+- any ``.force(...)`` call — the sanctioned reset paths carry a
+  written suppression, everything else is a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import TaintTracker
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.framework import Checker, FileContext, register
+from repro.analysis.symbols import call_tail
+
+#: Registry factory methods whose results are live instruments.
+INSTRUMENT_SOURCES = frozenset({"counter", "gauge", "histogram"})
+
+_EXEMPT_MODULES = ("repro.obs",)
+
+
+def _is_stats_attribute(target: ast.AST) -> bool:
+    """True for ``<expr>.stats.<field>`` or ``stats.<field>`` targets."""
+    if not isinstance(target, ast.Attribute):
+        return False
+    receiver = target.value
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "stats"
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "stats"
+    return False
+
+
+@register
+class ObsMutationChecker(Checker):
+    rule_id = "OBS001"
+    severity = Severity.ERROR
+    description = (
+        "direct mutation of a metric outside repro.obs; counters change "
+        "only through registry accessors (record_*/inc/observe)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        if ctx.module.startswith(_EXEMPT_MODULES):
+            return
+        for func, qualname in ctx.symbols.functions:
+            tracker = TaintTracker(INSTRUMENT_SOURCES)
+            tracker.scan_function(func)
+            yield from self._check_function(ctx, func, qualname, tracker)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST, qualname: str, tracker: TaintTracker
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if _is_stats_attribute(target):
+                        assert isinstance(target, ast.Attribute)
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{qualname}: direct write to stats field "
+                            f"{target.attr!r} bypasses the metrics "
+                            "registry — use the record_*/record accessors",
+                        )
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "value"
+                        and isinstance(target.value, ast.Name)
+                        and tracker.name_is_tainted(target.value.id)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{qualname}: write to "
+                            f"{target.value.id}.value mutates a registry "
+                            "instrument directly — use inc()/set()/observe()",
+                        )
+            elif isinstance(node, ast.Call):
+                if call_tail(node) != "force":
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualname}: force() overrides counter monotonicity; "
+                    "only repro.obs internals (and suppressed reset paths) "
+                    "may call it",
+                )

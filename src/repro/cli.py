@@ -180,32 +180,90 @@ def cmd_count(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    """Render statistics from one metrics snapshot (DESIGN.md §9).
+
+    Every figure — space gauges, cache hit rate, batching counters,
+    compressor outcomes — comes out of a single
+    :meth:`~repro.core.engine.CompressDB.metrics` snapshot rather than
+    poking component attributes; ``--json`` and ``--prom`` are the
+    byte-stable exporter renderings of the same snapshot.
+    """
     engine = _mount(args.image)
-    report = engine.memory_report()
-    print(f"files:             {len(engine.list_files())}")
-    print(f"logical bytes:     {engine.logical_bytes()}")
-    print(f"physical bytes:    {engine.physical_bytes()}")
-    print(f"compression ratio: {engine.compression_ratio():.3f}")
-    print(f"unique blocks:     {engine.physical_data_blocks()}")
-    print(f"holes:             {engine.holes.total_hole_count()} "
-          f"({engine.holes.total_hole_bytes()} bytes)")
-    print(f"blockHashTable:    {report['blockHashTable_bytes']} bytes")
-    device = engine.device
-    lookups = device.cache_hits + device.cache_misses
-    hit_rate = device.cache_hits / lookups if lookups else 0.0
-    print(f"page cache:        {device.cache_hits}/{lookups} hits "
-          f"({hit_rate:.1%})")
-    io = device.stats
-    print(f"batched reads:     {io.batched_reads} ops "
-          f"({io.batched_blocks_read} blocks)")
-    print(f"batched writes:    {io.batched_writes} ops "
-          f"({io.batched_blocks_written} blocks)")
-    comp = engine.compressor.stats
-    print(f"dedup hits:        {comp.dedup_hits} "
-          f"(in-place {comp.in_place_updates}, CoW {comp.cow_allocations}, "
-          f"fresh {comp.fresh_allocations})")
+    snap = engine.metrics()
     _close(engine, flush=False)
+    if args.json:
+        from repro.obs.exporters import metrics_json
+
+        print(metrics_json(snap))
+        return 0
+    if args.prom:
+        from repro.obs.exporters import prometheus_text
+
+        sys.stdout.write(prometheus_text(snap))
+        return 0
+    gauge = snap.gauge
+    counter = snap.counter
+    print(f"files:             {int(gauge('engine.space.files'))}")
+    print(f"logical bytes:     {int(gauge('engine.space.logical_bytes'))}")
+    print(f"physical bytes:    {int(gauge('engine.space.physical_bytes'))}")
+    print(f"compression ratio: {gauge('engine.space.compression_ratio'):.3f}")
+    print(f"unique blocks:     {int(gauge('engine.space.unique_blocks'))}")
+    print(f"holes:             {int(gauge('engine.holes.count'))} "
+          f"({int(gauge('engine.holes.bytes'))} bytes)")
+    print(f"blockHashTable:    {int(gauge('engine.memory.blockhashtable_bytes'))} bytes")
+    hits = counter("storage.device.cache.hits")
+    lookups = hits + counter("storage.device.cache.misses")
+    hit_rate = hits / lookups if lookups else 0.0
+    print(f"page cache:        {hits}/{lookups} hits "
+          f"({hit_rate:.1%})")
+    print(f"batched reads:     {counter('storage.device.batched_reads')} ops "
+          f"({counter('storage.device.batched_blocks_read')} blocks)")
+    print(f"batched writes:    {counter('storage.device.batched_writes')} ops "
+          f"({counter('storage.device.batched_blocks_written')} blocks)")
+    print(f"dedup hits:        {counter('engine.compressor.dedup_hits')} "
+          f"(in-place {counter('engine.compressor.in_place_updates')}, "
+          f"CoW {counter('engine.compressor.cow_allocations')}, "
+          f"fresh {counter('engine.compressor.fresh_allocations')})")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a workload under global tracing; dump Chrome trace_event JSON.
+
+    The target is either a Python script (run like ``python script.py``
+    with the remaining arguments as its argv) or any other compressdb
+    subcommand (``compressdb trace --out t.json search img /f needle``).
+    Every Observability bundle constructed while the run is live adopts
+    the shared tracer, so spans from independently created components —
+    device, journal, engine, VFS, cluster nodes — land in one trace.
+    """
+    from repro.obs import disable_global_tracing, enable_global_tracing
+    from repro.obs.exporters import chrome_trace_json
+
+    if not args.workload:
+        raise CLIError("trace needs a workload: a .py script or a subcommand")
+    tracer = enable_global_tracing()
+    try:
+        if args.workload[0].endswith(".py"):
+            import runpy
+
+            saved_argv = sys.argv
+            sys.argv = list(args.workload)
+            try:
+                runpy.run_path(args.workload[0], run_name="__main__")
+            finally:
+                sys.argv = saved_argv
+            status = 0
+        else:
+            status = main(list(args.workload))
+    finally:
+        disable_global_tracing()
+    spans = tracer.spans()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(spans))
+        handle.write("\n")
+    print(f"wrote {len(spans)} span(s) to {args.out}", file=sys.stderr)
+    return status
 
 
 def cmd_wordcount(args) -> int:
@@ -372,7 +430,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="space and structure statistics")
     p.add_argument("image")
+    p.add_argument(
+        "--json", action="store_true", help="byte-stable JSON metrics snapshot"
+    )
+    p.add_argument(
+        "--prom",
+        action="store_true",
+        help="Prometheus text exposition format",
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a script or subcommand under tracing, write Chrome JSON",
+    )
+    p.add_argument(
+        "--out", default="trace.json", help="output file (chrome://tracing)"
+    )
+    p.add_argument(
+        "workload",
+        nargs=argparse.REMAINDER,
+        help="a .py script (plus its argv) or any compressdb subcommand",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("describe", help="structural summary of one file")
     p.add_argument("image")

@@ -20,27 +20,56 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.hashtable import BlockHashTable
 from repro.core.refcount import BlockRefCount
+from repro.obs.compat import install_legacy_fields
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.block_device import BlockDevice
 from repro.storage.inode import Inode, Slot
 from repro.storage.journal import require_transaction
 
+#: Algorithm 1 outcome counters, registered as ``engine.compressor.*``.
+COMPRESSOR_FIELDS = (
+    "commits",
+    "stores",
+    "dedup_hits",
+    "in_place_updates",
+    "cow_allocations",
+    "fresh_allocations",
+    "releases",
+    "blocks_freed",
+)
 
-@dataclass
+
 class CompressorStats:
-    """Counters describing the compressor's behaviour."""
+    """Counters describing the compressor's behaviour (registry-backed).
 
-    commits: int = 0
-    stores: int = 0
-    dedup_hits: int = 0
-    in_place_updates: int = 0
-    cow_allocations: int = 0
-    fresh_allocations: int = 0
-    releases: int = 0
-    blocks_freed: int = 0
+    Mutation goes through :meth:`record`; the legacy attribute surface
+    (``stats.dedup_hits``) survives as deprecated property shims.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "engine.compressor",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}.{name}")
+            for name in COMPRESSOR_FIELDS
+        }
+
+    def record(self, field_name: str, n: int = 1) -> None:
+        self._counters[field_name].inc(n)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        for counter in self._counters.values():
+            counter.force(0)  # reprolint: disable=OBS001 -- reset() is the sanctioned zeroing path; force() keeps the shared instrument object while discarding its history
+
+
+install_legacy_fields(CompressorStats, "CompressorStats", COMPRESSOR_FIELDS)
 
 
 @dataclass
@@ -91,14 +120,14 @@ class Compressor:
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
         for content, used in pieces:  # reprolint: disable=RC001 -- each iteration publishes its reference into `slots` same-iteration, so completed items stay individually consistent; references orphaned by a mid-batch failure are repaired by fsck
-            self.stats.stores += 1
+            self.stats.record("stores")
             padded = self._pad(content)
             if self.dedup:
                 dup = pending.get(padded)
                 if dup is None:
                     dup = self.hashtable.find_duplicate(padded)
                 if dup is not None:
-                    self.stats.dedup_hits += 1
+                    self.stats.record("dedup_hits")
                     self.refcount.incref(dup)
                     slots.append(Slot(block_no=dup, used=used))
                     continue
@@ -107,10 +136,13 @@ class Compressor:
             if self.dedup:
                 pending[padded] = block_no
             self.refcount.set(block_no, 1)
-            self.stats.fresh_allocations += 1
+            self.stats.record("fresh_allocations")
             slots.append(Slot(block_no=block_no, used=used))
         if to_write:
-            self.device.write_blocks(to_write)
+            with self.device.obs.tracer.span(
+                "compressor.store_many", blocks=len(to_write)
+            ):
+                self.device.write_blocks(to_write)
             if self.dedup:
                 for block_no, padded in to_write:
                     self.hashtable.add_record(block_no, padded)
@@ -152,7 +184,7 @@ class Compressor:
         pending: dict[bytes, int] = {}
         to_write: list[tuple[int, bytes]] = []
         for slot_index, content, used in items:  # reprolint: disable=RC001 -- each iteration transfers its reference into the inode slot same-iteration; in-place updates cannot be rolled back, so a mid-batch failure is left to fsck rather than half-undone
-            self.stats.commits += 1
+            self.stats.record("commits")
             padded = self._pad(content)
             curr = inode.slot_at(slot_index)
             dup: Optional[int] = None
@@ -167,12 +199,12 @@ class Compressor:
                         inode.set_used(slot_index, used)
                     continue
                 # Duplicate block found: redirect the pointer to it.
-                self.stats.dedup_hits += 1
+                self.stats.record("dedup_hits")
                 if self.refcount.get(curr.block_no) == 1:
                     self.hashtable.delete_record(curr.block_no)
                     self.refcount.decref(curr.block_no)
                     self.device.free(curr.block_no)
-                    self.stats.blocks_freed += 1
+                    self.stats.record("blocks_freed")
                 else:
                     self.refcount.decref(curr.block_no)
                 self.refcount.incref(dup)
@@ -188,7 +220,7 @@ class Compressor:
                 to_write.append((curr.block_no, padded))
                 if used != curr.used:
                     inode.set_used(slot_index, used)
-                self.stats.in_place_updates += 1
+                self.stats.record("in_place_updates")
                 continue
             if self.refcount.get(curr.block_no) == 1:
                 # Sole reference, but the block is part of the committed
@@ -206,8 +238,8 @@ class Compressor:
                 self.refcount.set(block_no, 1)
                 inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
                 self.device.free(curr.block_no)
-                self.stats.blocks_freed += 1
-                self.stats.cow_allocations += 1
+                self.stats.record("blocks_freed")
+                self.stats.record("cow_allocations")
                 continue
             # Shared block: copy on write.
             self.refcount.decref(curr.block_no)
@@ -217,9 +249,12 @@ class Compressor:
                 pending[padded] = block_no
             self.refcount.set(block_no, 1)
             inode.replace_slot(slot_index, Slot(block_no=block_no, used=used))
-            self.stats.cow_allocations += 1
+            self.stats.record("cow_allocations")
         if to_write:
-            self.device.write_blocks(to_write)
+            with self.device.obs.tracer.span(
+                "compressor.commit_many", blocks=len(to_write)
+            ):
+                self.device.write_blocks(to_write)
             if self.dedup:
                 for block_no, padded in to_write:
                     self.hashtable.add_record(block_no, padded)
@@ -228,13 +263,13 @@ class Compressor:
     def release(self, slot: Slot) -> None:
         """Drop one reference to the slot's block, freeing it at zero."""
         require_transaction(self.device)
-        self.stats.releases += 1
+        self.stats.record("releases")
         remaining = self.refcount.decref(slot.block_no)
         if remaining == 0:
             if self.dedup and slot.block_no in self.hashtable:
                 self.hashtable.delete_record(slot.block_no)
             self.device.free(slot.block_no)
-            self.stats.blocks_freed += 1
+            self.stats.record("blocks_freed")
 
     # -- index (re)construction ---------------------------------------------------
     def rebuild_hashtable(self, inodes: Iterable[Inode]) -> int:

@@ -23,11 +23,13 @@ from typing import Iterator, Optional, Sequence
 from dataclasses import dataclass, field
 
 from repro.core import superblock as sb
-from repro.core.compressor import Compressor
+from repro.core.compressor import Compressor, CompressorStats
 from repro.core.hashtable import BlockHashTable
 from repro.core.holes import HoleDirectory
-from repro.core.operations import OperationModule
+from repro.core.operations import OperationModule, OperationStats
 from repro.core.refcount import BlockRefCount
+from repro.obs import Observability
+from repro.obs.metrics import MetricsSnapshot
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.inode import Inode, Slot
 from repro.storage.journal import Journal, JournalDevice, transactional
@@ -98,8 +100,16 @@ class CompressDB:
         dedup: bool = True,
         coalesce_writes: bool = True,
         coalesce_blocks: int = 16,
+        obs: Optional[Observability] = None,
     ) -> None:
-        self.device = device if device is not None else MemoryBlockDevice(block_size=block_size)
+        if device is None:
+            device = MemoryBlockDevice(block_size=block_size, obs=obs)
+        self.device = device
+        # Adopt the device's observability bundle so storage, engine,
+        # and anything stacked above report into one registry/trace.
+        if obs is None:
+            obs = getattr(device, "obs", None)
+        self.obs = obs if obs is not None else Observability()
         self.page_capacity = page_capacity
         self._inodes: dict[str, Inode] = {}
         self._txn_depth = 0
@@ -122,8 +132,13 @@ class CompressDB:
             hashtable=self.hashtable,
             refcount=self.refcount,
             dedup=dedup,
+            stats=CompressorStats(registry=self.obs.registry),
         )
-        self.ops = OperationModule(engine=self)
+        self.ops = OperationModule(
+            engine=self, stats=OperationStats(registry=self.obs.registry)
+        )
+        self._c_txn_commits = self.obs.registry.counter("engine.txn.commits")
+        self._h_commit_ms = self.obs.registry.histogram("engine.txn.commit_ms")
 
     @property
     def block_size(self) -> int:
@@ -230,6 +245,11 @@ class CompressDB:
             return
         buffered = self._pending.pop(path, None)
         if buffered:
+            hooks = self.obs.hooks
+            if hooks.active("engine.coalesce.flush"):
+                hooks.fire(
+                    "engine.coalesce.flush", path=path, nbytes=len(buffered)
+                )
             self.ops._append_data(self._inode_raw(path), bytes(buffered))
 
     def sync(self, path: Optional[str] = None) -> None:
@@ -364,6 +384,12 @@ class CompressDB:
         """
         self._flush_pending(path)
         inode = self._inode_raw(path)
+        with self.obs.tracer.span("engine.readv", path=path, spans=len(spans)):
+            return self._readv_planned(inode, spans)
+
+    def _readv_planned(
+        self, inode: Inode, spans: Sequence[tuple[int, int]]
+    ) -> list[bytes]:
         plans: list[Optional[tuple[int, int, list[Slot]]]] = []
         block_nos: list[int] = []
         for offset, size in spans:
@@ -421,6 +447,14 @@ class CompressDB:
             raise ValueError("offset must be non-negative")
         if not data:
             return 0  # POSIX: a zero-length write changes nothing
+        with self.obs.tracer.span(
+            "engine.write", path=path, offset=offset, nbytes=len(data)
+        ):
+            return self._write_located(inode, path, offset, data)
+
+    def _write_located(
+        self, inode: Inode, path: str, offset: int, data: bytes
+    ) -> int:
         if self._coalesce_bytes > 0:
             buffered = self._pending.get(path)
             logical = inode.size + (len(buffered) if buffered else 0)
@@ -501,6 +535,32 @@ class CompressDB:
             "total_bytes": hashtable + holes,
         }
 
+    def metrics(self) -> MetricsSnapshot:
+        """One snapshot of every metric the stack reports.
+
+        Space and structure figures (files, bytes, compression ratio,
+        holes, in-memory index footprints) are refreshed into gauges
+        first, so a single snapshot carries both the flow counters and
+        the current state — this is what ``repro stats`` renders.
+        """
+        gauge = self.obs.registry.gauge
+        gauge("engine.space.files").set(len(self._inodes))
+        gauge("engine.space.logical_bytes").set(self.logical_bytes())
+        gauge("engine.space.physical_bytes").set(self.physical_bytes())
+        gauge("engine.space.unique_blocks").set(self.physical_data_blocks())
+        gauge("engine.space.compression_ratio").set(self.compression_ratio())
+        gauge("engine.holes.count").set(self.holes.total_hole_count())
+        gauge("engine.holes.bytes").set(self.holes.total_hole_bytes())
+        report = self.memory_report()
+        gauge("engine.memory.blockhashtable_bytes").set(
+            report["blockHashTable_bytes"]
+        )
+        gauge("engine.memory.blockhole_bytes").set(report["blockHole_bytes"])
+        gauge("engine.memory.blockrefcount_bytes").set(
+            report["blockRefCount_bytes"]
+        )
+        return self.obs.registry.snapshot()
+
     # -- remount / durability -----------------------------------------------------------
     def flush(self) -> None:
         """Persist the durable structures.
@@ -514,23 +574,29 @@ class CompressDB:
         image goes through the write-ahead log, so a crash anywhere
         lands on exactly the previous or the new image.
         """
-        with self._txn_scope():
-            self._flush_pending()
-            self.refcount.persist()
-            if self._formatted:
-                old_head = sb.read_superblock(self.device)
-                if old_head != sb.NO_BLOCK:
-                    __, old_chain = sb.read_chain(self.device, old_head)
-                    sb.update_superblock(self.device, sb.NO_BLOCK)
-                    for block_no in old_chain:
-                        self.device.free(block_no)
-                payload = sb.serialize_metadata(
-                    self._inodes, self.refcount.partition_blocks
-                )
-                head = sb.write_chain(self.device, payload)
-                sb.update_superblock(self.device, head)
-        if self.journaled:
-            self.device.commit()
+        clock = self.obs.clock
+        started = clock.now if clock is not None else 0.0
+        with self.obs.tracer.span("engine.flush", journaled=self.journaled):
+            with self._txn_scope():
+                self._flush_pending()
+                self.refcount.persist()
+                if self._formatted:
+                    old_head = sb.read_superblock(self.device)
+                    if old_head != sb.NO_BLOCK:
+                        __, old_chain = sb.read_chain(self.device, old_head)
+                        sb.update_superblock(self.device, sb.NO_BLOCK)
+                        for block_no in old_chain:
+                            self.device.free(block_no)
+                    payload = sb.serialize_metadata(
+                        self._inodes, self.refcount.partition_blocks
+                    )
+                    head = sb.write_chain(self.device, payload)
+                    sb.update_superblock(self.device, head)
+            if self.journaled:
+                self.device.commit()
+        self._c_txn_commits.inc()
+        if clock is not None:
+            self._h_commit_ms.observe((clock.now - started) * 1000.0)
 
     @classmethod
     def mount(

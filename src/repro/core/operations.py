@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.core import kmp
+from repro.obs.compat import install_legacy_fields
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.inode import Inode, Slot
 from repro.storage.journal import require_transaction, transactional
 
@@ -27,22 +29,51 @@ class OperationError(Exception):
     """Raised on invalid operation arguments (bad range, unknown file)."""
 
 
-@dataclass
-class OperationStats:
-    """Per-operation invocation counters."""
+#: The seven pushed-down operations plus word_count, registered as
+#: ``engine.ops.*`` invocation counters.
+OPERATION_FIELDS = (
+    "extract",
+    "replace",
+    "insert",
+    "delete",
+    "append",
+    "search",
+    "count",
+    "word_count",
+)
 
-    extract: int = 0
-    replace: int = 0
-    insert: int = 0
-    delete: int = 0
-    append: int = 0
-    search: int = 0
-    count: int = 0
-    word_count: int = 0
+
+class OperationStats:
+    """Per-operation invocation counters (registry-backed).
+
+    Mutation goes through :meth:`record`; the legacy attribute surface
+    (``stats.extract``) survives as deprecated property shims.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "engine.ops",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}.{name}")
+            for name in OPERATION_FIELDS
+        }
+
+    def record(self, field_name: str, n: int = 1) -> None:
+        self._counters[field_name].inc(n)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        for counter in self._counters.values():
+            counter.force(0)  # reprolint: disable=OBS001 -- reset() is the sanctioned zeroing path; force() keeps the shared instrument object while discarding its history
+
+
+install_legacy_fields(OperationStats, "OperationStats", OPERATION_FIELDS)
 
 
 def _tokenize_block(content: bytes) -> tuple[bool, bytes, Counter, bytes]:
@@ -114,7 +145,7 @@ class OperationModule:
         semantics).  The covering slot run is fetched in one
         scatter-gather device transaction via :meth:`CompressDB.readv`.
         """
-        self.stats.extract += 1
+        self.stats.record("extract")
         self._inode(path)  # existence check + pending-write flush
         if offset < 0 or size < 0:
             raise OperationError("offset and size must be non-negative")
@@ -135,7 +166,7 @@ class OperationModule:
         whole run commits through :meth:`Compressor.commit_many` as a
         single scatter-gather write — Algorithm 1 still runs per block.
         """
-        self.stats.replace += 1
+        self.stats.record("replace")
         inode = self._inode(path)
         self._check_range(inode, offset, len(data))
         if not data:
@@ -181,7 +212,7 @@ class OperationModule:
         packed after the split point, and any unaligned tail becomes a
         hole (Figure 3c).  Only the affected pointer-page entries change.
         """
-        self.stats.insert += 1
+        self.stats.record("insert")
         inode = self._inode(path)
         if offset < 0 or offset > inode.size:
             raise OperationError(
@@ -227,7 +258,7 @@ class OperationModule:
         releasing the extra block (the hole-merging process of
         Section 4.4).
         """
-        self.stats.delete += 1
+        self.stats.record("delete")
         inode = self._inode(path)
         self._check_range(inode, offset, length)
         if length == 0:
@@ -286,7 +317,7 @@ class OperationModule:
         insert position is needed; a trailing hole in the last slot is
         filled first, then whole blocks are stored (dedup applies).
         """
-        self.stats.append += 1
+        self.stats.record("append")
         inode = self._inode(path)
         self._append_data(inode, data)
 
@@ -319,7 +350,7 @@ class OperationModule:
         fragments that span slot junctions.  A block shared by many
         slots contributes its counts at dictionary-merge cost.
         """
-        self.stats.word_count += 1
+        self.stats.record("word_count")
         inode = self._inode(path)
         total: Counter = Counter()
         if inode.size == 0:
@@ -362,7 +393,7 @@ class OperationModule:
         paper's parallel block-level search (Figure 3e); results are
         identical to the sequential scan.
         """
-        self.stats.search += 1
+        self.stats.record("search")
         return self._search_impl(path, pattern, workers=workers)
 
     def count(self, path: str, pattern: bytes) -> int:
@@ -374,7 +405,7 @@ class OperationModule:
         Section 4.4 saving of reading frequencies "directly" from the
         shared-block structure — plus the cross-junction occurrences.
         """
-        self.stats.count += 1
+        self.stats.record("count")
         inode = self._inode(path)
         m = len(pattern)
         if m == 0 or inode.size == 0 or m > inode.size:

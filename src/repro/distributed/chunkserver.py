@@ -15,6 +15,7 @@ from typing import Optional, Union
 
 from repro.core.engine import CompressDB
 from repro.fs.compressfs import CompressFS
+from repro.obs import Observability
 from repro.fs.posix_ops import PosixOperations
 from repro.fs.vfs import PassthroughFS
 from repro.storage.block_device import MemoryBlockDevice
@@ -40,6 +41,7 @@ class ChunkServer:
         cache_blocks: int = 128,
         durable: bool = False,
         journal_blocks: int = 64,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.name = name
         self.compressed = compressed
@@ -49,7 +51,9 @@ class ChunkServer:
             clock=clock,
             stats=stats,
             cache_blocks=cache_blocks,
+            obs=obs,
         )
+        self.obs = device.obs
         # Kept for restart(): the journal and superblock live on the raw
         # device, beneath any journaling wrapper the engine adds.
         self._raw_device = device
@@ -130,17 +134,20 @@ class ChunkServer:
         one request envelope and one scatter-gather device transaction
         per touched chunk file rather than N independent reads.
         """
-        by_chunk: dict[str, tuple[list[int], list[tuple[int, int]]]] = {}
-        for index, (chunk_id, offset, size) in enumerate(requests):
-            indices, spans = by_chunk.setdefault(chunk_id, ([], []))
-            indices.append(index)
-            spans.append((offset, size))
-        results: list[bytes] = [b""] * len(requests)
-        for chunk_id, (indices, spans) in by_chunk.items():
-            payloads = self.fs._preadv(self._path(chunk_id), spans)
-            for index, payload in zip(indices, payloads):
-                results[index] = payload
-        return results
+        with self.obs.tracer.span(
+            "chunkserver.readv", server=self.name, requests=len(requests)
+        ):
+            by_chunk: dict[str, tuple[list[int], list[tuple[int, int]]]] = {}
+            for index, (chunk_id, offset, size) in enumerate(requests):
+                indices, spans = by_chunk.setdefault(chunk_id, ([], []))
+                indices.append(index)
+                spans.append((offset, size))
+            results: list[bytes] = [b""] * len(requests)
+            for chunk_id, (indices, spans) in by_chunk.items():
+                payloads = self.fs._preadv(self._path(chunk_id), spans)
+                for index, payload in zip(indices, payloads):
+                    results[index] = payload
+            return results
 
     def write(self, chunk_id: str, offset: int, data: bytes) -> int:
         written = self.fs._pwrite(self._path(chunk_id), offset, data)
@@ -155,9 +162,12 @@ class ChunkServer:
         single network envelope per server.  Returns total bytes written.
         """
         self._ensure_online()
-        for chunk_id, offset, data in requests:
-            self.replace(chunk_id, offset, data)
-        self._commit()
+        with self.obs.tracer.span(
+            "chunkserver.writev", server=self.name, requests=len(requests)
+        ):
+            for chunk_id, offset, data in requests:
+                self.replace(chunk_id, offset, data)
+            self._commit()
         return sum(len(data) for __, __, data in requests)
 
     def truncate(self, chunk_id: str, size: int) -> None:
@@ -170,28 +180,35 @@ class ChunkServer:
     # so the cluster still *works* without CompressDB — it just pays for it.
     def insert(self, chunk_id: str, offset: int, data: bytes) -> None:
         path = self._path(chunk_id)
-        if self.compressed:
-            assert isinstance(self.fs, CompressFS)
-            self.fs.ops.insert(path, offset, data)
-        else:
-            self._posix_ops.insert(path, offset, data)
-        self._commit()
+        with self.obs.tracer.span(
+            "chunkserver.insert", server=self.name, nbytes=len(data)
+        ):
+            if self.compressed:
+                assert isinstance(self.fs, CompressFS)
+                self.fs.ops.insert(path, offset, data)
+            else:
+                self._posix_ops.insert(path, offset, data)
+            self._commit()
 
     def delete_range(self, chunk_id: str, offset: int, length: int) -> None:
         path = self._path(chunk_id)
-        if self.compressed:
-            assert isinstance(self.fs, CompressFS)
-            self.fs.ops.delete(path, offset, length)
-        else:
-            self._posix_ops.delete(path, offset, length)
-        self._commit()
+        with self.obs.tracer.span(
+            "chunkserver.delete_range", server=self.name, length=length
+        ):
+            if self.compressed:
+                assert isinstance(self.fs, CompressFS)
+                self.fs.ops.delete(path, offset, length)
+            else:
+                self._posix_ops.delete(path, offset, length)
+            self._commit()
 
     def search(self, chunk_id: str, pattern: bytes) -> list[int]:
         path = self._path(chunk_id)
-        if self.compressed:
-            assert isinstance(self.fs, CompressFS)
-            return self.fs.ops.search(path, pattern)
-        return self._posix_ops.search(path, pattern)
+        with self.obs.tracer.span("chunkserver.search", server=self.name):
+            if self.compressed:
+                assert isinstance(self.fs, CompressFS)
+                return self.fs.ops.search(path, pattern)
+            return self._posix_ops.search(path, pattern)
 
     def search_with_edges(
         self, chunk_id: str, pattern: bytes
@@ -221,12 +238,15 @@ class ChunkServer:
 
     def append(self, chunk_id: str, data: bytes) -> None:
         path = self._path(chunk_id)
-        if self.compressed:
-            assert isinstance(self.fs, CompressFS)
-            self.fs.ops.append(path, data)
-        else:
-            self.fs.append_file(path, data)
-        self._commit()
+        with self.obs.tracer.span(
+            "chunkserver.append", server=self.name, nbytes=len(data)
+        ):
+            if self.compressed:
+                assert isinstance(self.fs, CompressFS)
+                self.fs.ops.append(path, data)
+            else:
+                self.fs.append_file(path, data)
+            self._commit()
 
     def replace(self, chunk_id: str, offset: int, data: bytes) -> None:
         path = self._path(chunk_id)

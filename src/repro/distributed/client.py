@@ -12,9 +12,12 @@ the whole file once.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.kmp import iter_matches
 from repro.distributed.chunkserver import ChunkServer
 from repro.distributed.master import Master
+from repro.obs import Observability
 from repro.storage.simclock import DATACENTER_LAN, NetworkProfile, SimClock
 
 #: Size of an operation request/response envelope on the wire.
@@ -37,15 +40,21 @@ class ClusterClient:
         clock: SimClock,
         network: NetworkProfile = DATACENTER_LAN,
         pushdown: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.master = master
         self.servers = servers
         self.clock = clock
         self.network = network
         self.pushdown = pushdown
+        self.obs = obs if obs is not None else Observability(clock=clock)
+        self._c_rpc_count = self.obs.registry.counter("cluster.rpc.count")
+        self._c_rpc_bytes = self.obs.registry.counter("cluster.rpc.bytes")
 
     # -- network accounting --------------------------------------------------
     def _charge(self, payload_bytes: int) -> None:
+        self._c_rpc_count.inc()
+        self._c_rpc_bytes.inc(_RPC_OVERHEAD + payload_bytes)
         self.clock.charge_transfer(self.network, _RPC_OVERHEAD + payload_bytes)
 
     # -- replica handling -------------------------------------------------------
@@ -87,6 +96,10 @@ class ClusterClient:
 
     # -- read / write -------------------------------------------------------------
     def read(self, path: str, offset: int, size: int) -> bytes:
+        with self.obs.tracer.span("client.read", path=path, size=size):
+            return self._read(path, offset, size)
+
+    def _read(self, path: str, offset: int, size: int) -> bytes:
         entry = self.master.lookup(path)
         if offset >= entry.size or size <= 0:
             return b""
@@ -109,6 +122,10 @@ class ClusterClient:
         return b"".join(parts)
 
     def write(self, path: str, offset: int, data: bytes) -> int:
+        with self.obs.tracer.span("client.write", path=path, nbytes=len(data)):
+            return self._write(path, offset, data)
+
+    def _write(self, path: str, offset: int, data: bytes) -> int:
         entry = self.master.lookup(path)
         if offset > entry.size:
             self.append(path, b"\x00" * (offset - entry.size))
@@ -132,6 +149,10 @@ class ClusterClient:
         return len(data)
 
     def append(self, path: str, data: bytes) -> None:
+        with self.obs.tracer.span("client.append", path=path, nbytes=len(data)):
+            self._append(path, data)
+
+    def _append(self, path: str, data: bytes) -> None:
         entry = self.master.lookup(path)
         position = 0
         while position < len(data):
@@ -169,21 +190,30 @@ class ClusterClient:
         simply grows).  Without: the classic read-tail + rewrite dance,
         all over the network.
         """
-        if not self.pushdown:
-            self._insert_via_rewrite(path, offset, data)
-            return
-        entry = self.master.lookup(path)
-        if not entry.chunks or offset == entry.size:
-            self.append(path, data)
-            return
-        __, chunk, within = self.master.locate(path, offset)
-        for server in self._write_servers(chunk):
-            self._charge(len(data))
-            server.insert(chunk.chunk_id, within, data)
-        chunk.length += len(data)
+        with self.obs.tracer.span(
+            "client.insert", path=path, nbytes=len(data), pushdown=self.pushdown
+        ):
+            if not self.pushdown:
+                self._insert_via_rewrite(path, offset, data)
+                return
+            entry = self.master.lookup(path)
+            if not entry.chunks or offset == entry.size:
+                self._append(path, data)
+                return
+            __, chunk, within = self.master.locate(path, offset)
+            for server in self._write_servers(chunk):
+                self._charge(len(data))
+                server.insert(chunk.chunk_id, within, data)
+            chunk.length += len(data)
 
     def delete(self, path: str, offset: int, length: int) -> None:
         """Delete a byte range; pushdown issues per-chunk local deletes."""
+        with self.obs.tracer.span(
+            "client.delete", path=path, length=length, pushdown=self.pushdown
+        ):
+            self._delete(path, offset, length)
+
+    def _delete(self, path: str, offset: int, length: int) -> None:
         if not self.pushdown:
             self._delete_via_rewrite(path, offset, length)
             return
@@ -283,6 +313,13 @@ class ClusterClient:
         m = len(pattern)
         if m == 0:
             return []
+        with self.obs.tracer.span(
+            "client.search", path=path, pushdown=self.pushdown
+        ):
+            return self._search(path, pattern)
+
+    def _search(self, path: str, pattern: bytes) -> list[int]:
+        m = len(pattern)
         entry = self.master.lookup(path)
         if not self.pushdown:
             data = self.read_file(path)

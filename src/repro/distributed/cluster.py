@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.distributed.chunkserver import ChunkServer
 from repro.distributed.client import ClusterClient
 from repro.distributed.master import Master
+from repro.obs import Observability
 from repro.storage.simclock import CLOUD_ESSD, DATACENTER_LAN, DeviceProfile, NetworkProfile, SimClock
 from repro.storage.stats import StatsRegistry
 
@@ -26,6 +27,11 @@ class Cluster:
     client: ClusterClient
     clock: SimClock
     stats: StatsRegistry
+    obs: Observability
+
+    def metrics(self):
+        """One snapshot covering every node and the client RPC layer."""
+        return self.obs.registry.snapshot()
 
     def logical_bytes(self) -> int:
         return sum(server.logical_bytes() for server in self.servers.values())
@@ -60,7 +66,8 @@ def build_cluster(
     if nodes < 1:
         raise ValueError("a cluster needs at least one node")
     clock = SimClock()
-    stats = StatsRegistry()
+    obs = Observability(clock=clock)
+    stats = StatsRegistry(metrics=obs.registry)
     servers: dict[str, ChunkServer] = {}
     for index in range(nodes):
         name = f"node{index}"
@@ -70,10 +77,13 @@ def build_cluster(
             compressed=compressed,
             block_size=block_size,
             profile=device_profile,
-            stats=stats.register(name),
+            stats=stats.register(name, prefix=f"cluster.{name}.device"),
+            obs=obs,
         )
     master = Master(list(servers), chunk_capacity=chunk_capacity, replication=replication)
     client = ClusterClient(
-        master, servers, clock=clock, network=network, pushdown=pushdown
+        master, servers, clock=clock, network=network, pushdown=pushdown, obs=obs
     )
-    return Cluster(master=master, servers=servers, client=client, clock=clock, stats=stats)
+    return Cluster(
+        master=master, servers=servers, client=client, clock=clock, stats=stats, obs=obs
+    )

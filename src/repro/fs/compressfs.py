@@ -134,6 +134,10 @@ class CompressFS(FileSystem):
             raise FileExists(new) from None
 
     # -- accounting ---------------------------------------------------------------
+    def metrics(self):
+        """Engine snapshot: refreshes space/memory gauges before reading."""
+        return self.engine.metrics()
+
     def physical_bytes(self) -> int:
         return self.engine.physical_bytes()
 

@@ -24,6 +24,8 @@ from repro.fs.errors import (
     IsBusy,
     PermissionDenied,
 )
+from repro.obs import Observability
+from repro.obs.metrics import MetricsSnapshot
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 
 
@@ -41,11 +43,19 @@ class FileSystem:
 
     def __init__(self, device: Optional[BlockDevice] = None, block_size: int = 1024) -> None:
         self.device = device if device is not None else MemoryBlockDevice(block_size=block_size)
+        # Share the device's observability bundle: VFS spans nest over
+        # engine and device spans in one trace.
+        obs = getattr(self.device, "obs", None)
+        self.obs = obs if obs is not None else Observability()
         self._fds = fdmod.FDTable()
 
     @property
     def block_size(self) -> int:
         return self.device.block_size
+
+    def metrics(self) -> MetricsSnapshot:
+        """Snapshot of every metric reported beneath this file system."""
+        return self.obs.registry.snapshot()
 
     # -- storage primitives (implemented by subclasses) ----------------------
     def _create(self, path: str) -> None:
@@ -151,7 +161,8 @@ class FileSystem:
         # POSIX does not promise durability on close, but every database
         # in this repo treats close-after-write as a commit point (as
         # ext4's auto_da_alloc heuristic does), so map it to a sync.
-        self._sync(state.path)
+        with self.obs.tracer.span("vfs.close", path=state.path):
+            self._sync(state.path)
 
     def lseek(self, fd: int, offset: int, whence: int = fdmod.SEEK_SET) -> int:
         state = self._fds.lookup(fd)
@@ -161,7 +172,8 @@ class FileSystem:
         state = self._fds.lookup(fd)
         if not state.readable:
             raise PermissionDenied(f"fd {fd} not open for reading")
-        data = self._pread(state.path, state.position, size)
+        with self.obs.tracer.span("vfs.read", path=state.path, size=size):
+            data = self._pread(state.path, state.position, size)
         state.position += len(data)
         return data
 
@@ -171,7 +183,8 @@ class FileSystem:
             raise PermissionDenied(f"fd {fd} not open for writing")
         if state.append_mode:
             state.position = self._size(state.path)
-        written = self._pwrite(state.path, state.position, data)
+        with self.obs.tracer.span("vfs.write", path=state.path, nbytes=len(data)):
+            written = self._pwrite(state.path, state.position, data)
         state.position += written
         return written
 
@@ -179,27 +192,31 @@ class FileSystem:
         state = self._fds.lookup(fd)
         if not state.readable:
             raise PermissionDenied(f"fd {fd} not open for reading")
-        return self._pread(state.path, offset, size)
+        with self.obs.tracer.span("vfs.pread", path=state.path, size=size):
+            return self._pread(state.path, offset, size)
 
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
         state = self._fds.lookup(fd)
         if not state.writable:
             raise PermissionDenied(f"fd {fd} not open for writing")
-        return self._pwrite(state.path, offset, data)
+        with self.obs.tracer.span("vfs.pwrite", path=state.path, nbytes=len(data)):
+            return self._pwrite(state.path, offset, data)
 
     def preadv(self, fd: int, spans: list[tuple[int, int]]) -> list[bytes]:
         """``preadv``: read every ``(offset, size)`` span in one request."""
         state = self._fds.lookup(fd)
         if not state.readable:
             raise PermissionDenied(f"fd {fd} not open for reading")
-        return self._preadv(state.path, spans)
+        with self.obs.tracer.span("vfs.preadv", path=state.path, spans=len(spans)):
+            return self._preadv(state.path, spans)
 
     def pwritev(self, fd: int, spans: list[tuple[int, bytes]]) -> int:
         """``pwritev``: write every ``(offset, data)`` span in one request."""
         state = self._fds.lookup(fd)
         if not state.writable:
             raise PermissionDenied(f"fd {fd} not open for writing")
-        return self._pwritev(state.path, spans)
+        with self.obs.tracer.span("vfs.pwritev", path=state.path, spans=len(spans)):
+            return self._pwritev(state.path, spans)
 
     def ftruncate(self, fd: int, size: int) -> None:
         state = self._fds.lookup(fd)
@@ -215,7 +232,8 @@ class FileSystem:
     def fsync(self, fd: int) -> None:
         """Make the file's completed writes durable (commit + barrier)."""
         state = self._fds.lookup(fd)
-        self._sync(state.path)
+        with self.obs.tracer.span("vfs.fsync", path=state.path):
+            self._sync(state.path)
 
     # -- whole-file convenience -----------------------------------------------------
     def read_file(self, path: str) -> bytes:

@@ -1,0 +1,46 @@
+"""Deprecation shims for the legacy per-class stats attributes.
+
+PR 4 re-homes ``IOStats``/``CompressorStats``/``OperationStats`` onto
+the :class:`~repro.obs.metrics.MetricsRegistry`.  Code written against
+the old mutable-dataclass API (``stats.block_reads``,
+``stats.allocations = 3``) keeps working for one release through the
+properties installed here — every access emits a ``DeprecationWarning``
+pointing at the registry.  New code reads
+``registry.snapshot()`` / ``stats.snapshot()`` instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+__all__ = ["install_legacy_fields", "legacy_counter_property"]
+
+
+def legacy_counter_property(owner: str, field: str) -> property:
+    """A property bridging ``obj.field`` to ``obj._counters[field]``.
+
+    Reads and writes both warn; writes go through the sanctioned
+    :meth:`~repro.obs.metrics.Counter.force` accessor so the registry
+    stays the single source of truth.
+    """
+    message = (
+        f"{owner}.{field} is deprecated; read it from "
+        f"{owner}.snapshot().{field} or the MetricsRegistry snapshot"
+    )
+
+    def getter(self):
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        return self._counters[field].value
+
+    def setter(self, value):
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        self._counters[field].force(int(value))
+
+    return property(getter, setter, doc=f"Deprecated alias for {field!r}.")
+
+
+def install_legacy_fields(cls: type, owner: str, fields: Sequence[str]) -> None:
+    """Install a :func:`legacy_counter_property` per legacy field on ``cls``."""
+    for field in fields:
+        setattr(cls, field, legacy_counter_property(owner, field))

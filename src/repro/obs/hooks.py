@@ -1,0 +1,87 @@
+"""Opt-in sampling profiling hooks.
+
+Layers *declare* hook sites; profilers and benchmarks *register*
+callbacks against them — no monkeypatching.  The sites instrumented in
+this repo:
+
+====================================  =========================================
+site                                  payload keys
+====================================  =========================================
+``storage.cache.evict``               ``block_no``, ``cache_blocks``
+``journal.commit.phase``              ``phase`` (``fresh`` | ``append`` |
+                                      ``apply`` | ``frees``), ``blocks``,
+                                      ``lsn``
+``engine.coalesce.flush``             ``path``, ``nbytes``
+====================================  =========================================
+
+A site with no subscribers costs one dict lookup per ``fire``; hot
+paths additionally guard payload construction with :meth:`HookRegistry.active`.
+``sample=n`` delivers every n-th event to that subscriber, so a
+profiler can watch a hot site at a fraction of the traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["HookRegistry", "HookSubscription"]
+
+HookCallback = Callable[[str, dict], None]
+
+
+class HookSubscription:
+    """Handle returned by :meth:`HookRegistry.register`; pass to unregister."""
+
+    __slots__ = ("site", "callback", "sample", "_seen")
+
+    def __init__(self, site: str, callback: HookCallback, sample: int) -> None:
+        self.site = site
+        self.callback = callback
+        self.sample = sample
+        self._seen = 0
+
+
+class HookRegistry:
+    """Named hook sites with sampled subscribers."""
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[HookSubscription]] = {}
+
+    def register(
+        self, site: str, callback: HookCallback, sample: int = 1
+    ) -> HookSubscription:
+        """Subscribe ``callback(site, payload)``; fires every ``sample``-th event."""
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        sub = HookSubscription(site, callback, sample)
+        self._subs.setdefault(site, []).append(sub)
+        return sub
+
+    def unregister(self, subscription: HookSubscription) -> None:
+        subs = self._subs.get(subscription.site)
+        if subs is None or subscription not in subs:
+            raise ValueError(f"subscription not registered on {subscription.site!r}")
+        subs.remove(subscription)
+        if not subs:
+            del self._subs[subscription.site]
+
+    def active(self, site: str) -> bool:
+        """Whether anyone listens on ``site`` (guards payload building)."""
+        return site in self._subs
+
+    def fire(self, site: str, **payload) -> int:
+        """Deliver one event; returns the number of callbacks invoked."""
+        subs = self._subs.get(site)
+        if not subs:
+            return 0
+        fired = 0
+        for sub in list(subs):
+            sub._seen += 1
+            if sub._seen % sub.sample:
+                continue
+            sub.callback(site, payload)
+            fired += 1
+        return fired
+
+    def sites(self) -> list[str]:
+        return sorted(self._subs)

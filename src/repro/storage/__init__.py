@@ -29,7 +29,7 @@ from repro.storage.simclock import (
     SimClock,
     Stopwatch,
 )
-from repro.storage.stats import IOStats, StatsRegistry
+from repro.storage.stats import IOStats, IOStatsSnapshot, StatsRegistry
 
 __all__ = [
     "BlockDevice",
@@ -43,6 +43,7 @@ __all__ = [
     "FileBlockDevice",
     "HDD_5400RPM",
     "IOStats",
+    "IOStatsSnapshot",
     "Inode",
     "InodeError",
     "Journal",

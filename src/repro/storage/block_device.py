@@ -21,6 +21,7 @@ import os
 from collections import OrderedDict
 from typing import Optional, Sequence
 
+from repro.obs import Observability
 from repro.storage.simclock import DeviceProfile, RAM_DISK, SimClock
 from repro.storage.stats import IOStats
 
@@ -43,13 +44,23 @@ class BlockDevice:
         clock: Optional[SimClock] = None,
         stats: Optional[IOStats] = None,
         cache_blocks: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.block_size = block_size
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
-        self.stats = stats if stats is not None else IOStats()
+        # The device anchors the observability bundle its whole stack
+        # (engine, VFS, journal wrapper) adopts.  An explicitly passed
+        # stats object brings its registry along so both views agree.
+        if obs is None:
+            registry = stats.registry if stats is not None else None
+            obs = Observability(clock=self.clock, registry=registry)
+        self.obs = obs
+        self.stats = (
+            stats if stats is not None else IOStats(registry=obs.registry)
+        )
         self._free: list[int] = []
         self._free_set: set[int] = set()
         self._next_block = 0
@@ -59,13 +70,27 @@ class BlockDevice:
         # fits more of itself in the same cache).
         self.cache_blocks = cache_blocks
         self._cache: OrderedDict[int, bytes] = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        cache_prefix = self.stats.prefix + ".cache"
+        self._cache_hit_counter = obs.registry.counter(cache_prefix + ".hits")
+        self._cache_miss_counter = obs.registry.counter(cache_prefix + ".misses")
+        self._cache_evict_counter = obs.registry.counter(
+            cache_prefix + ".evictions"
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        """Reads served from the page cache (registry-backed)."""
+        return self._cache_hit_counter.value
+
+    @property
+    def cache_misses(self) -> int:
+        """Reads that had to touch the device (registry-backed)."""
+        return self._cache_miss_counter.value
 
     # -- allocation ---------------------------------------------------
     def allocate(self) -> int:
         """Allocate a block number; its contents start zeroed."""
-        self.stats.allocations += 1
+        self.stats.record_allocation()
         self.clock.charge_metadata(self.profile)
         self.stats.record_metadata_write()
         if self._free:
@@ -82,7 +107,7 @@ class BlockDevice:
         self._check_block_no(block_no)
         if block_no in self._free_set:
             raise BlockDeviceError(f"double free of block {block_no}")
-        self.stats.frees += 1
+        self.stats.record_free()
         self.clock.charge_metadata(self.profile)
         self.stats.record_metadata_write()
         self._erase(block_no)
@@ -138,23 +163,26 @@ class BlockDevice:
                 cached = self._cache.get(block_no)
                 if cached is not None:
                     self._cache.move_to_end(block_no)
-                    self.cache_hits += 1
+                    self._cache_hit_counter.inc()
                     served[block_no] = cached
                     continue
-                self.cache_misses += 1
+                self._cache_miss_counter.inc()
             misses.append(block_no)
         if misses:
             nbytes = len(misses) * self.block_size
-            # One seek for the whole run, then streaming bandwidth.
-            self.clock.charge_read(self.profile, nbytes)
-            if len(misses) > 1:
-                self.stats.record_batched_read(len(misses), nbytes)
-            else:
-                self.stats.record_read(nbytes)
-            for block_no in misses:
-                data = self._read(block_no)
-                self._cache_put(block_no, data)
-                served[block_no] = data
+            with self.obs.tracer.span(
+                "device.read", blocks=len(misses), bytes=nbytes
+            ):
+                # One seek for the whole run, then streaming bandwidth.
+                self.clock.charge_read(self.profile, nbytes)
+                if len(misses) > 1:
+                    self.stats.record_batched_read(len(misses), nbytes)
+                else:
+                    self.stats.record_read(nbytes)
+                for block_no in misses:
+                    data = self._read(block_no)
+                    self._cache_put(block_no, data)
+                    served[block_no] = data
         return [served[block_no] for block_no in block_nos]
 
     def write_block(self, block_no: int, data: bytes) -> None:
@@ -181,14 +209,17 @@ class BlockDevice:
         if not prepared:
             return
         nbytes = len(prepared) * self.block_size
-        self.clock.charge_write(self.profile, nbytes)
-        if len(prepared) > 1:
-            self.stats.record_batched_write(len(prepared), nbytes)
-        else:
-            self.stats.record_write(nbytes)
-        for block_no, data in prepared:
-            self._cache_put(block_no, data)  # write-through
-            self._write(block_no, data)
+        with self.obs.tracer.span(
+            "device.write", blocks=len(prepared), bytes=nbytes
+        ):
+            self.clock.charge_write(self.profile, nbytes)
+            if len(prepared) > 1:
+                self.stats.record_batched_write(len(prepared), nbytes)
+            else:
+                self.stats.record_write(nbytes)
+            for block_no, data in prepared:
+                self._cache_put(block_no, data)  # write-through
+                self._write(block_no, data)
 
     def _cache_put(self, block_no: int, data: bytes) -> None:
         if self.cache_blocks <= 0:
@@ -196,7 +227,15 @@ class BlockDevice:
         self._cache[block_no] = data
         self._cache.move_to_end(block_no)
         while len(self._cache) > self.cache_blocks:
-            self._cache.popitem(last=False)
+            evicted_no, __ = self._cache.popitem(last=False)
+            self._cache_evict_counter.inc()
+            hooks = self.obs.hooks
+            if hooks.active("storage.cache.evict"):
+                hooks.fire(
+                    "storage.cache.evict",
+                    block_no=evicted_no,
+                    cache_blocks=self.cache_blocks,
+                )
 
     def charge_metadata_access(self, write: bool = False) -> None:
         """Charge a metadata (inode / pointer page) access to this device."""

@@ -289,6 +289,12 @@ class JournalDevice(DeviceWrapper):
         self.journal = journal
         self.txn = Transaction()
         self.lsn = journal.next_lsn(inner)
+        registry = inner.obs.registry
+        self._c_commits = registry.counter("journal.commits")
+        self._c_journal_blocks = registry.counter("journal.blocks_written")
+        self._c_fresh_blocks = registry.counter("journal.fresh_blocks")
+        self._c_overwrite_blocks = registry.counter("journal.overwrite_blocks")
+        self._c_deferred_frees = registry.counter("journal.deferred_frees")
 
     @property
     def in_transaction(self) -> bool:
@@ -350,19 +356,62 @@ class JournalDevice(DeviceWrapper):
         overwrites = sorted(
             (no, data) for no, data in txn.staged.items() if no not in txn.fresh
         )
+        obs = self.inner.obs
+        tracer = obs.tracer
+        hooks = obs.hooks
         journal_blocks = 0
-        if direct:
-            self.inner.write_blocks(direct)
-            self.inner.barrier()
-        if overwrites:
-            journal_blocks = self.journal.append_batch(
-                self.inner, self.lsn, overwrites
-            )
-            self.inner.barrier()
-            self.inner.write_blocks(overwrites)
-            self.inner.barrier()
-        for block_no in txn.deferred:
-            self.inner.free(block_no)
+        with tracer.span(
+            "journal.commit",
+            lsn=self.lsn,
+            staged=len(txn.staged),
+            frees=len(txn.deferred),
+        ):
+            if direct:
+                with tracer.span("journal.phase.fresh", blocks=len(direct)):
+                    self.inner.write_blocks(direct)
+                    self.inner.barrier()
+                hooks.fire(
+                    "journal.commit.phase",
+                    phase="fresh",
+                    blocks=len(direct),
+                    lsn=self.lsn,
+                )
+            if overwrites:
+                with tracer.span("journal.phase.append", blocks=len(overwrites)):
+                    journal_blocks = self.journal.append_batch(
+                        self.inner, self.lsn, overwrites
+                    )
+                    self.inner.barrier()
+                hooks.fire(
+                    "journal.commit.phase",
+                    phase="append",
+                    blocks=journal_blocks,
+                    lsn=self.lsn,
+                )
+                with tracer.span("journal.phase.apply", blocks=len(overwrites)):
+                    self.inner.write_blocks(overwrites)
+                    self.inner.barrier()
+                hooks.fire(
+                    "journal.commit.phase",
+                    phase="apply",
+                    blocks=len(overwrites),
+                    lsn=self.lsn,
+                )
+            if txn.deferred:
+                with tracer.span("journal.phase.frees", blocks=len(txn.deferred)):
+                    for block_no in txn.deferred:
+                        self.inner.free(block_no)
+                hooks.fire(
+                    "journal.commit.phase",
+                    phase="frees",
+                    blocks=len(txn.deferred),
+                    lsn=self.lsn,
+                )
+        self._c_commits.inc()
+        self._c_journal_blocks.inc(journal_blocks)
+        self._c_fresh_blocks.inc(len(direct))
+        self._c_overwrite_blocks.inc(len(overwrites))
+        self._c_deferred_frees.inc(len(txn.deferred))
         self.lsn += 1
         self.txn = Transaction()
         return journal_blocks

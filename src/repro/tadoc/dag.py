@@ -12,7 +12,9 @@ and contrasts them with CompressDB's constant-depth organisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.tadoc.sequitur import Grammar, RuleRef
 
 
@@ -88,8 +90,15 @@ def dag_depth(grammar: Grammar) -> int:
     return depth[grammar.root]
 
 
-def compute_stats(grammar: Grammar) -> DagStats:
-    """Full structural summary of the grammar DAG."""
+def compute_stats(
+    grammar: Grammar, registry: Optional[MetricsRegistry] = None
+) -> DagStats:
+    """Full structural summary of the grammar DAG.
+
+    When ``registry`` is given, the summary is also published as
+    ``tadoc.dag.*`` gauges so grammar structure shows up next to the
+    engine metrics in one snapshot.
+    """
     parents: dict[int, int] = {rule_id: 0 for rule_id in grammar.rules}
     edges = 0
     terminals = 0
@@ -103,7 +112,7 @@ def compute_stats(grammar: Grammar) -> DagStats:
     non_root = [count for rule_id, count in parents.items() if rule_id != grammar.root]
     max_parents = max(non_root, default=0)
     avg_parents = sum(non_root) / len(non_root) if non_root else 0.0
-    return DagStats(
+    stats = DagStats(
         rules=len(grammar.rules),
         edges=edges,
         depth=dag_depth(grammar),
@@ -111,6 +120,14 @@ def compute_stats(grammar: Grammar) -> DagStats:
         avg_parents=avg_parents,
         terminals=terminals,
     )
+    if registry is not None:
+        registry.gauge("tadoc.dag.rules").set(stats.rules)
+        registry.gauge("tadoc.dag.edges").set(stats.edges)
+        registry.gauge("tadoc.dag.depth").set(stats.depth)
+        registry.gauge("tadoc.dag.max_parents").set(stats.max_parents)
+        registry.gauge("tadoc.dag.avg_parents").set(stats.avg_parents)
+        registry.gauge("tadoc.dag.terminals").set(stats.terminals)
+    return stats
 
 
 def to_networkx(grammar: Grammar):

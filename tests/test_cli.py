@@ -115,6 +115,75 @@ class TestQueries:
         ratio = float(out.split("compression ratio:")[1].split()[0])
         assert ratio > 1.5  # the duplicate file dedups
 
+    def test_stats_json_is_byte_stable(self, image, corpus, capsys):
+        import json
+
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["stats", image, "--json"]) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["version"] == 1
+        assert payload["gauges"]["engine.space.files"] == 1
+        assert payload["counters"]["storage.device.block_reads"] > 0
+        assert main(["stats", image, "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_stats_prom_validates(self, image, corpus, capsys):
+        from tests.test_obs import validate_prometheus_text
+
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        assert main(["stats", image, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert validate_prometheus_text(out) > 0
+        assert "repro_engine_space_compression_ratio" in out
+
+
+class TestTrace:
+    def test_trace_subcommand_writes_chrome_json(
+        self, image, corpus, tmp_path, capsys
+    ):
+        import json
+
+        main(["put", image, corpus, "/c"])
+        capsys.readouterr()
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "--out", out, "search", image, "/c", "fox"]) == 0
+        captured = capsys.readouterr()
+        assert "40 occurrence(s)" in captured.err  # workload still ran
+        payload = json.load(open(out))
+        events = payload["traceEvents"]
+        assert events, "trace must contain spans"
+        cats = {event["cat"] for event in events}
+        assert "device" in cats  # the scan's block reads are traced
+
+    def test_trace_script_covers_four_layers(self, tmp_path, capsys):
+        import json
+        import os
+
+        quickstart = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "quickstart.py"
+        )
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "--out", out, quickstart]) == 0
+        capsys.readouterr()
+        payload = json.load(open(out))
+        events = payload["traceEvents"]
+        cats = {event["cat"] for event in events}
+        assert {"vfs", "engine", "journal", "device"} <= cats
+        # Parent/child links resolve within the trace.
+        ids = {event["args"]["span_id"] for event in events}
+        parented = [
+            event for event in events if event["args"]["parent_id"] is not None
+        ]
+        assert parented
+        assert all(event["args"]["parent_id"] in ids for event in parented)
+
+    def test_trace_without_workload_errors(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path / "t.json")]) == 2
+        assert "workload" in capsys.readouterr().err
+
 
 class TestMaintenance:
     def test_fsck_on_healthy_image(self, image, corpus, capsys):

@@ -465,6 +465,98 @@ class TestRawMutationRule:
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — metric mutation outside repro.obs
+# ---------------------------------------------------------------------------
+
+class TestObsMutationRule:
+    PATH = "src/repro/core/obsfixture.py"
+
+    def test_stats_attribute_write_flagged(self):
+        findings = lint(
+            """
+            def bump(self):
+                self.stats.commits += 1
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_bare_stats_name_write_flagged(self):
+        findings = lint(
+            """
+            def bump(stats):
+                stats.block_reads = 3
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_instrument_value_write_flagged(self):
+        findings = lint(
+            """
+            def bump(registry):
+                c = registry.counter("engine.txn.commits")
+                c.value += 1
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_force_call_flagged(self):
+        findings = lint(
+            """
+            def clear(counter):
+                counter.force(0)
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_registry_accessors_pass(self):
+        findings = lint(
+            """
+            def bump(self, registry):
+                self.stats.record("commits")
+                self.stats.record_read(1024)
+                registry.counter("engine.txn.commits").inc()
+                registry.gauge("engine.space.files").set(3)
+                registry.histogram("engine.txn.commit_ms").observe(1.5)
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert findings == []
+
+    def test_obs_package_exempt(self):
+        findings = lint(
+            """
+            def reset(self):
+                self.value = 0
+                self.stats.total = 0
+            """,
+            "src/repro/obs/metrics.py",
+            rules=["OBS001"],
+        )
+        assert findings == []
+
+    def test_suppression_with_justification(self):
+        findings = lint(
+            """
+            def reset(counter):
+                counter.force(0)  # reprolint: disable=OBS001 -- sanctioned reset path keeping the shared instrument object
+            """,
+            self.PATH,
+            rules=["OBS001"],
+        )
+        assert active(findings) == []
+        assert len(findings) == 1 and findings[0].suppressed
+
+
+# ---------------------------------------------------------------------------
 # Framework: suppressions, registry, module mapping, JSON
 # ---------------------------------------------------------------------------
 
@@ -578,7 +670,9 @@ class TestTransactionRule:
 
 class TestFramework:
     def test_all_five_rules_registered(self):
-        assert {"RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "TXN001"} <= set(
+        assert {
+            "RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "OBS001", "TXN001"
+        } <= set(
             CHECKER_REGISTRY
         )
 
@@ -707,7 +801,9 @@ class TestLintCLI:
     def test_cli_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "SUP001"):
+        for rule in (
+            "RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "OBS001", "SUP001"
+        ):
             assert rule in out
 
     def test_cli_missing_target(self, capsys):
