@@ -1,0 +1,233 @@
+"""Snapshot cost scaling: O(metadata) create and CoW clone vs full copy.
+
+The acceptance claim of the snapshot subsystem: taking a snapshot costs
+metadata, not data.  Across a 16x growth in stored bytes, snapshot
+creation (freeze + refcount increments + one serialised-table commit)
+must stay essentially flat — within 2x — while a byte-copying baseline
+(read the files back, write duplicates, as a non-refcounted store
+would) grows linearly with the data.  The second table measures clone
+divergence: writing one span into a CoW clone of an N-byte snapshot
+costs the same regardless of N, while a copy-then-write baseline pays
+for N up front.
+
+All figures are simulated HDD seconds (seek-dominated 5400 rpm
+profile, page cache off) so the block-transaction counts — not Python
+overhead — decide the outcome.  Runnable standalone
+(``python benchmarks/bench_snapshot.py [--smoke]``) or under pytest
+with the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.bench import print_table
+from repro.core.engine import CompressDB
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import HDD_5400RPM, SimClock
+
+BLOCK_SIZE = 1024
+JOURNAL_BLOCKS = 64
+BASE_BYTES = 64 * 1024
+SIZE_FACTORS = (1, 4, 16)
+FILES = 8
+SMOKE_SCALE = 4
+FLATNESS_BOUND = 2.0  # snapshot create at 16x data must stay within 2x of 1x
+CLONE_WRITE_SPAN = 4096
+
+
+def _mount() -> CompressDB:
+    clock = SimClock()
+    device = MemoryBlockDevice(
+        block_size=BLOCK_SIZE,
+        profile=HDD_5400RPM,
+        clock=clock,
+        cache_blocks=0,  # no page cache: measure the device transactions
+    )
+    return CompressDB.mount(device, journal_blocks=JOURNAL_BLOCKS)
+
+
+def _measure(engine: CompressDB, fn):
+    """(simulated seconds, wall seconds, result) of fn()."""
+    sim_before = engine.device.clock.now
+    wall_before = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - wall_before
+    sim = engine.device.clock.now - sim_before
+    return sim, wall, result
+
+
+def _populate(engine: CompressDB, total_bytes: int) -> None:
+    """FILES files of incompressible (dedup-proof) random bytes."""
+    rng = random.Random(41)
+    per_file = total_bytes // FILES
+    for index in range(FILES):
+        payload = bytes(rng.randrange(256) for __ in range(per_file))
+        engine.write_file(f"/data/f{index}", payload)
+    engine.fsync()
+
+
+def _snapshot_create(engine: CompressDB) -> None:
+    engine.snapshots.create("epoch")
+    engine.fsync()
+
+
+def _full_copy(engine: CompressDB) -> None:
+    """The baseline a store without refcounts pays: duplicate the bytes."""
+    for path in engine.list_files(prefix="/data/"):
+        engine.write_file("/backup" + path, bytes(memoryview(engine.read_file(path))))
+    engine.fsync()
+
+
+def bench_create(smoke: bool = False) -> list[dict]:
+    scale = SMOKE_SCALE if smoke else 1
+    results = []
+    for factor in SIZE_FACTORS:
+        total = BASE_BYTES * factor // scale
+        snap_engine = _mount()
+        _populate(snap_engine, total)
+        snap_sim, snap_wall, __ = _measure(
+            snap_engine, lambda e=snap_engine: _snapshot_create(e)
+        )
+        copy_engine = _mount()
+        _populate(copy_engine, total)
+        copy_sim, copy_wall, __ = _measure(
+            copy_engine, lambda e=copy_engine: _full_copy(e)
+        )
+        results.append(
+            {
+                "bytes": total,
+                "snapshot": (snap_sim, snap_wall),
+                "full_copy": (copy_sim, copy_wall),
+            }
+        )
+    return results
+
+
+def bench_clone_write(smoke: bool = False) -> list[dict]:
+    """Cost of 'give me a writable copy and change one span'."""
+    scale = SMOKE_SCALE if smoke else 1
+    rng = random.Random(43)
+    patch = bytes(rng.randrange(256) for __ in range(CLONE_WRITE_SPAN))
+    results = []
+    for factor in SIZE_FACTORS:
+        total = BASE_BYTES * factor // scale
+
+        clone_engine = _mount()
+        _populate(clone_engine, total)
+        clone_engine.snapshots.create("epoch")
+        clone_engine.fsync()
+
+        def _clone_and_write(engine: CompressDB = clone_engine) -> None:
+            engine.snapshots.clone("epoch", "/clone")
+            engine.write("/clone/data/f0", 0, patch)
+            engine.fsync()
+
+        clone_sim, clone_wall, __ = _measure(clone_engine, _clone_and_write)
+
+        copy_engine = _mount()
+        _populate(copy_engine, total)
+
+        def _copy_and_write(engine: CompressDB = copy_engine) -> None:
+            _full_copy(engine)
+            engine.write("/backup/data/f0", 0, patch)
+            engine.fsync()
+
+        copy_sim, copy_wall, __ = _measure(copy_engine, _copy_and_write)
+        results.append(
+            {
+                "bytes": total,
+                "clone_write": (clone_sim, clone_wall),
+                "copy_write": (copy_sim, copy_wall),
+            }
+        )
+    return results
+
+
+def run_all(smoke: bool = False) -> dict:
+    return {"create": bench_create(smoke), "clone": bench_clone_write(smoke)}
+
+
+def report(results: dict) -> dict[str, float]:
+    create = results["create"]
+    rows = []
+    for entry in create:
+        snap_sim, snap_wall = entry["snapshot"]
+        copy_sim, copy_wall = entry["full_copy"]
+        rows.append(
+            [
+                f"{entry['bytes'] // 1024} KiB",
+                f"{snap_sim * 1e3:.2f}",
+                f"{copy_sim * 1e3:.2f}",
+                f"{copy_sim / snap_sim:.0f}x" if snap_sim else "-",
+                f"{snap_wall * 1e3:.0f}/{copy_wall * 1e3:.0f}",
+            ]
+        )
+    print_table(
+        ["data", "snapshot sim ms", "full copy sim ms", "advantage", "wall ms (s/c)"],
+        rows,
+        title="Snapshot creation vs byte-copy backup (simulated HDD)",
+    )
+    clone = results["clone"]
+    rows = []
+    for entry in clone:
+        clone_sim, clone_wall = entry["clone_write"]
+        copy_sim, copy_wall = entry["copy_write"]
+        rows.append(
+            [
+                f"{entry['bytes'] // 1024} KiB",
+                f"{clone_sim * 1e3:.2f}",
+                f"{copy_sim * 1e3:.2f}",
+                f"{copy_sim / clone_sim:.0f}x" if clone_sim else "-",
+                f"{clone_wall * 1e3:.0f}/{copy_wall * 1e3:.0f}",
+            ]
+        )
+    print_table(
+        ["data", "clone+write sim ms", "copy+write sim ms", "advantage", "wall ms (c/f)"],
+        rows,
+        title="Writable clone divergence vs copy-then-write (simulated HDD)",
+    )
+    growth = create[-1]["snapshot"][0] / create[0]["snapshot"][0]
+    copy_growth = create[-1]["full_copy"][0] / create[0]["full_copy"][0]
+    size_growth = create[-1]["bytes"] / create[0]["bytes"]
+    return {
+        "snapshot_growth": growth,
+        "copy_growth": copy_growth,
+        "size_growth": size_growth,
+    }
+
+
+def _check(figures: dict[str, float]) -> None:
+    assert figures["snapshot_growth"] <= FLATNESS_BOUND, (
+        f"snapshot creation grew {figures['snapshot_growth']:.2f}x over a "
+        f"{figures['size_growth']:.0f}x data growth; bound is "
+        f"{FLATNESS_BOUND}x (it must be O(metadata))"
+    )
+    # The byte-copy baseline must actually scale with the data, or the
+    # comparison proves nothing.
+    assert figures["copy_growth"] > figures["size_growth"] / 4, (
+        f"full-copy baseline grew only {figures['copy_growth']:.2f}x over "
+        f"{figures['size_growth']:.0f}x data — the baseline is broken"
+    )
+
+
+def test_snapshot_scaling(benchmark):
+    results = benchmark.pedantic(run_all, kwargs={"smoke": True}, rounds=1, iterations=1)
+    _check(report(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced volume for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+    _check(report(run_all(smoke=args.smoke)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

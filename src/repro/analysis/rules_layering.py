@@ -40,6 +40,7 @@ LAYER_RANKS = {
     "repro.analysis": 0,
     "repro.succinct": 1,
     "repro.tadoc": 1,
+    "repro.snap": 1,
     "repro.core": 1,
     "repro.fs": 2,
     "repro.databases": 3,

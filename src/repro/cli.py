@@ -26,6 +26,7 @@ from repro.core.api import SocketServer
 from repro.core.engine import CompressDB, FileExistsInEngine, FileNotFoundInEngine
 from repro.core.operations import OperationError
 from repro.fs.errors import FSError
+from repro.snap.manager import SnapshotError
 from repro.storage.block_device import FileBlockDevice
 
 
@@ -336,6 +337,62 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_snap(args) -> int:
+    """Snapshot lifecycle: create / list / diff / rollback / clone / delete."""
+    engine = _mount(args.image)
+    try:
+        if args.snap_command == "create":
+            record = engine.snapshots.create(args.name)
+            _close(engine, flush=True)
+            print(
+                f"snapshot {args.name!r}: {len(record.files)} file(s), "
+                f"{record.logical_bytes} logical bytes frozen"
+            )
+        elif args.snap_command == "list":
+            for name in engine.snapshots.names():
+                record = engine.snapshots.get(name)
+                print(
+                    f"{record.snap_id:>4}  {len(record.files):>5} file(s)  "
+                    f"{record.logical_bytes:>12}  {name}"
+                )
+            _close(engine, flush=False)
+        elif args.snap_command == "delete":
+            engine.snapshots.delete(args.name)
+            _close(engine, flush=True)
+            print(f"deleted snapshot {args.name!r}")
+        elif args.snap_command == "rollback":
+            engine.snapshots.rollback(args.name)
+            _close(engine, flush=True)
+            print(f"rolled back to snapshot {args.name!r}")
+        elif args.snap_command == "clone":
+            created = engine.snapshots.clone(args.name, args.dest)
+            _close(engine, flush=True)
+            print(
+                f"cloned snapshot {args.name!r} -> {args.dest} "
+                f"({len(created)} file(s), no data copied)"
+            )
+        else:  # diff
+            entries = engine.snapshots.diff(args.base, args.target)
+            _close(engine, flush=False)
+            total = 0
+            for entry in entries:
+                total += entry.changed_bytes
+                spans = ", ".join(
+                    f"{extent.offset}+{extent.length}" for extent in entry.extents
+                )
+                print(f"{entry.change:<9} {entry.path}  [{spans}]")
+            target_label = args.target if args.target else "live"
+            print(
+                f"{len(entries)} file(s) changed, {total} byte(s) "
+                f"({args.base} -> {target_label})",
+                file=sys.stderr,
+            )
+        return 0
+    except BaseException:
+        _close(engine, flush=False)
+        raise
+
+
 def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
     engine = _mount(args.image)
     server = SocketServer(engine, args.socket)
@@ -505,6 +562,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser("snap", help="point-in-time snapshots of the whole image")
+    snap_sub = p.add_subparsers(dest="snap_command", required=True)
+
+    q = snap_sub.add_parser("create", help="freeze the namespace (O(metadata))")
+    q.add_argument("image")
+    q.add_argument("name")
+    q.set_defaults(func=cmd_snap)
+
+    q = snap_sub.add_parser("list", help="list snapshots in creation order")
+    q.add_argument("image")
+    q.set_defaults(func=cmd_snap)
+
+    q = snap_sub.add_parser("delete", help="drop a snapshot, freeing unshared blocks")
+    q.add_argument("image")
+    q.add_argument("name")
+    q.set_defaults(func=cmd_snap)
+
+    q = snap_sub.add_parser("rollback", help="reset the live namespace to a snapshot")
+    q.add_argument("image")
+    q.add_argument("name")
+    q.set_defaults(func=cmd_snap)
+
+    q = snap_sub.add_parser(
+        "clone", help="materialise a snapshot as writable files (CoW, no copy)"
+    )
+    q.add_argument("image")
+    q.add_argument("name")
+    q.add_argument("dest", help="destination path prefix for the clone")
+    q.set_defaults(func=cmd_snap)
+
+    q = snap_sub.add_parser(
+        "diff", help="changed files and block extents between snapshots"
+    )
+    q.add_argument("image")
+    q.add_argument("base")
+    q.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="second snapshot (default: the live namespace)",
+    )
+    q.set_defaults(func=cmd_snap)
+
     p = sub.add_parser("serve", help="expose the image on a unix socket")
     p.add_argument("image")
     p.add_argument("socket")
@@ -527,6 +627,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         FileExistsInEngine,
         OperationError,
         FSError,
+        SnapshotError,
         sb.PersistenceError,
     ) as exc:
         # Engine/VFS failures are expected user-facing conditions (missing

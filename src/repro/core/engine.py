@@ -18,6 +18,7 @@ only ever see POSIX-like calls plus the extra pushdown APIs.
 from __future__ import annotations
 
 import contextlib
+import itertools
 from typing import Iterator, Optional, Sequence
 
 from dataclasses import dataclass, field
@@ -30,6 +31,7 @@ from repro.core.operations import OperationModule, OperationStats
 from repro.core.refcount import BlockRefCount
 from repro.obs import Observability
 from repro.obs.metrics import MetricsSnapshot
+from repro.snap.manager import SnapshotManager
 from repro.storage.block_device import BlockDevice, MemoryBlockDevice
 from repro.storage.inode import Inode, Slot
 from repro.storage.journal import Journal, JournalDevice, transactional
@@ -137,6 +139,7 @@ class CompressDB:
         self.ops = OperationModule(
             engine=self, stats=OperationStats(registry=self.obs.registry)
         )
+        self.snapshots = SnapshotManager(self)
         self._c_txn_commits = self.obs.registry.counter("engine.txn.commits")
         self._h_commit_ms = self.obs.registry.histogram("engine.txn.commit_ms")
 
@@ -551,6 +554,7 @@ class CompressDB:
         gauge("engine.space.compression_ratio").set(self.compression_ratio())
         gauge("engine.holes.count").set(self.holes.total_hole_count())
         gauge("engine.holes.bytes").set(self.holes.total_hole_bytes())
+        gauge("engine.snap.count").set(len(self.snapshots))
         report = self.memory_report()
         gauge("engine.memory.blockhashtable_bytes").set(
             report["blockHashTable_bytes"]
@@ -581,17 +585,37 @@ class CompressDB:
                 self._flush_pending()
                 self.refcount.persist()
                 if self._formatted:
-                    old_head = sb.read_superblock(self.device)
-                    if old_head != sb.NO_BLOCK:
-                        __, old_chain = sb.read_chain(self.device, old_head)
+                    layout = sb.read_layout(self.device)
+                    snap_head = layout.snap_head
+                    if layout.meta_head != sb.NO_BLOCK:
+                        __, old_chain = sb.read_chain(self.device, layout.meta_head)
                         sb.update_superblock(self.device, sb.NO_BLOCK)
                         for block_no in old_chain:
                             self.device.free(block_no)
+                    if self.snapshots.dirty:
+                        # Same crash discipline as the metadata chain:
+                        # unregister, free the old chain, write the new
+                        # one, then re-register — any crash lands on a
+                        # superblock pointing at a whole chain (or none).
+                        if snap_head != sb.NO_BLOCK:
+                            __, old_snaps = sb.read_chain(self.device, snap_head)
+                            sb.update_superblock(
+                                self.device, sb.NO_BLOCK, snap_head=sb.NO_BLOCK
+                            )
+                            for block_no in old_snaps:
+                                self.device.free(block_no)
+                        if len(self.snapshots):
+                            snap_head = sb.write_chain(
+                                self.device, self.snapshots.serialize()
+                            )
+                        else:
+                            snap_head = sb.NO_BLOCK
+                        self.snapshots.mark_clean()
                     payload = sb.serialize_metadata(
                         self._inodes, self.refcount.partition_blocks
                     )
                     head = sb.write_chain(self.device, payload)
-                    sb.update_superblock(self.device, head)
+                    sb.update_superblock(self.device, head, snap_head=snap_head)
             if self.journaled:
                 self.device.commit()
         self._c_txn_commits.inc()
@@ -629,34 +653,45 @@ class CompressDB:
                 )
                 device = JournalDevice(device, journal)
             return cls(device=device, **engine_kwargs)
-        head, journal_start, journal_len = sb.read_layout(device)
+        layout = sb.read_layout(device)
         journal_region: set[int] = set()
-        if journal_len:
-            journal = Journal(journal_start, journal_len, device.block_size)
+        if layout.journal_len:
+            journal = Journal(layout.journal_start, layout.journal_len, device.block_size)
             journal.replay(device)
             # The replayed batch may carry a newer superblock.
-            head, __, __ = sb.read_layout(device)
+            layout = sb.read_layout(device)
             journal_region = journal.region_blocks()
             device = JournalDevice(device, journal)
         engine = cls(device=device, **engine_kwargs)
         chain_blocks: list[int] = []
-        if head != sb.NO_BLOCK:
-            payload, chain_blocks = sb.read_chain(device, head)
+        if layout.meta_head != sb.NO_BLOCK:
+            payload, chain_blocks = sb.read_chain(device, layout.meta_head)
             inodes, partition = sb.deserialize_metadata(
                 payload, device.block_size, engine.page_capacity, device
             )
             engine._inodes.update(inodes)
             engine.refcount.adopt_partition(partition)
             engine.refcount.restore()
+        snap_chain: list[int] = []
+        if layout.snap_head != sb.NO_BLOCK:
+            snap_payload, snap_chain = sb.read_chain(device, layout.snap_head)
+            engine.snapshots.load(snap_payload)
         used = (
             {sb.SUPERBLOCK_NO}
             | journal_region
             | set(chain_blocks)
+            | set(snap_chain)
             | set(engine.refcount.partition_blocks)
             | set(engine.refcount.live_blocks())
         )
         device.rebuild_free_list(used)
-        engine.compressor.rebuild_hashtable(engine.iter_inodes())
+        # Snapshot-only blocks are as live as inode-held ones: the index
+        # must resolve them or dedup would re-store their content.
+        engine.compressor.rebuild_hashtable(
+            itertools.chain(
+                engine.iter_inodes(), engine.snapshots.iter_frozen_inodes()
+            )
+        )
         return engine
 
     def remount(self) -> int:
@@ -670,7 +705,9 @@ class CompressDB:
         self._flush_pending()
         self.refcount.persist()
         self.refcount.restore()
-        return self.compressor.rebuild_hashtable(self.iter_inodes())
+        return self.compressor.rebuild_hashtable(
+            itertools.chain(self.iter_inodes(), self.snapshots.iter_frozen_inodes())
+        )
 
     def describe(self, path: str) -> dict[str, object]:
         """Structural summary of one file (for inspection and the CLI)."""
@@ -738,6 +775,10 @@ class CompressDB:
         for inode in self._inodes.values():
             for slot in inode.iter_slots():
                 observed[slot.block_no] = observed.get(slot.block_no, 0) + 1
+        # References held by snapshots are first-class: without them a
+        # snapshot-only block would be "repaired" into oblivion.
+        for block_no, held in self.snapshots.block_references().items():
+            observed[block_no] = observed.get(block_no, 0) + held
         fixed = 0
         for block_no, expected in observed.items():
             if self.refcount.get(block_no) != expected:
@@ -752,7 +793,9 @@ class CompressDB:
                     self.device.free(block_no)
                 leaked += 1
         holes = self.holes.check_consistency()
-        rebuilt = self.compressor.rebuild_hashtable(self.iter_inodes())
+        rebuilt = self.compressor.rebuild_hashtable(
+            itertools.chain(self.iter_inodes(), self.snapshots.iter_frozen_inodes())
+        )
         return {
             "refcounts_fixed": fixed,
             "blocks_reclaimed": leaked,
@@ -775,6 +818,8 @@ class CompressDB:
             inode.check_invariants()
             for slot in inode.iter_slots():
                 observed[slot.block_no] = observed.get(slot.block_no, 0) + 1
+        for block_no, held in self.snapshots.block_references().items():
+            observed[block_no] = observed.get(block_no, 0) + held
         for block_no, expected in observed.items():
             actual = self.refcount.get(block_no)
             if actual != expected:

@@ -22,6 +22,17 @@ _ENTRY = struct.Struct("<QI")
 _HEADER = struct.Struct("<I")  # number of entries in this partition block
 
 
+class RefcountUnderflowError(ValueError):
+    """``decref`` of a block whose reference count is already zero.
+
+    A dedicated type (raised identically whether the count lives in the
+    cache dict or was just restored from the persisted partition) so
+    callers can distinguish a genuine accounting bug from the generic
+    argument errors ``ValueError`` also covers.  Subclasses
+    ``ValueError`` for backward compatibility with existing handlers.
+    """
+
+
 class BlockRefCount:
     """Reference counts for data blocks, persistable to the device."""
 
@@ -42,7 +53,9 @@ class BlockRefCount:
     def decref(self, block_no: int) -> int:
         count = self._counts.get(block_no, 0)
         if count <= 0:
-            raise ValueError(f"decref of unreferenced block {block_no}")
+            raise RefcountUnderflowError(
+                f"decref of unreferenced block {block_no}"
+            )
         count -= 1
         if count == 0:
             del self._counts[block_no]

@@ -22,22 +22,38 @@ exactly as after the paper's remount.
 from __future__ import annotations
 
 import struct
+from typing import NamedTuple
 
 from repro.storage.block_device import BlockDevice
 from repro.storage.inode import Inode, Slot
 
 _MAGIC = 0x434F4D5052444200  # "COMPRDB\0"
-_VERSION = 3
-# magic, version, block size, meta chain head, journal start, journal
-# length.  The block size is recorded so an image can never be re-opened
-# (and silently reformatted) under a different geometry than it was
-# written with; the journal region is fixed at format time so recovery
-# can find it before any other structure is trusted.
-_SUPERBLOCK = struct.Struct("<QIIQII")
+_VERSION = 4
+# v4: magic, version, block size, meta chain head, journal start,
+# journal length, snapshot chain head.  The block size is recorded so an
+# image can never be re-opened (and silently reformatted) under a
+# different geometry than it was written with; the journal region is
+# fixed at format time so recovery can find it before any other
+# structure is trusted; the snapshot chain head (new in v4) registers
+# the serialised snapshot table of :mod:`repro.snap`.
+_SUPERBLOCK = struct.Struct("<QIIQIIQ")
+# v3 lacked the snapshot head; still readable (snap head = NO_BLOCK),
+# and the first metadata publish rewrites the superblock as v4.
+_SUPERBLOCK_V3 = struct.Struct("<QIIQII")
+_READABLE_VERSIONS = (3, _VERSION)
 _CHAIN_HEADER = struct.Struct("<QI")  # next block (NO_BLOCK = end), payload bytes
 NO_BLOCK = 0xFFFFFFFFFFFFFFFF
 
 SUPERBLOCK_NO = 0
+
+
+class Layout(NamedTuple):
+    """Decoded superblock geometry."""
+
+    meta_head: int
+    journal_start: int
+    journal_len: int
+    snap_head: int
 
 
 class PersistenceError(Exception):
@@ -185,6 +201,7 @@ def format_device(device: BlockDevice, journal_blocks: int = 0) -> None:
             NO_BLOCK,
             journal_start if journal_blocks else 0,
             journal_blocks,
+            NO_BLOCK,
         ),
     )
 
@@ -193,39 +210,57 @@ def is_formatted(device: BlockDevice) -> bool:
     if device.total_blocks == 0:
         return False
     try:
-        magic, version, __, __, __, __ = _SUPERBLOCK.unpack_from(
+        magic, version, __, __, __, __ = _SUPERBLOCK_V3.unpack_from(
             device.read_block(SUPERBLOCK_NO), 0
         )
     except struct.error:  # pragma: no cover - blocks are fixed-size
         return False
-    return magic == _MAGIC and version == _VERSION
+    return magic == _MAGIC and version in _READABLE_VERSIONS
 
 
-def read_layout(device: BlockDevice) -> tuple[int, int, int]:
-    """Validate the superblock; returns (meta head, journal start, len)."""
+def read_layout(device: BlockDevice) -> Layout:
+    """Validate the superblock; returns the decoded :class:`Layout`."""
     if not is_formatted(device):
         raise PersistenceError("device carries no CompressDB superblock")
-    __, __, block_size, head, journal_start, journal_len = _SUPERBLOCK.unpack_from(
-        device.read_block(SUPERBLOCK_NO), 0
-    )
+    raw = device.read_block(SUPERBLOCK_NO)
+    __, version, __, __, __, __ = _SUPERBLOCK_V3.unpack_from(raw, 0)
+    if version == _VERSION:
+        (
+            __,
+            __,
+            block_size,
+            head,
+            journal_start,
+            journal_len,
+            snap_head,
+        ) = _SUPERBLOCK.unpack_from(raw, 0)
+    else:
+        # v3 image: no snapshot table exists yet.
+        __, __, block_size, head, journal_start, journal_len = (
+            _SUPERBLOCK_V3.unpack_from(raw, 0)
+        )
+        snap_head = NO_BLOCK
     if block_size != device.block_size:
         raise PersistenceError(
             f"image was written with {block_size}-byte blocks but the "
             f"device is using {device.block_size}-byte blocks"
         )
-    return head, journal_start, journal_len
+    return Layout(head, journal_start, journal_len, snap_head)
 
 
 def read_superblock(device: BlockDevice) -> int:
     """Validate the superblock; returns the metadata chain head."""
-    head, __, __ = read_layout(device)
-    return head
+    return read_layout(device).meta_head
 
 
-def update_superblock(device: BlockDevice, meta_head: int) -> None:
+def update_superblock(
+    device: BlockDevice, meta_head: int, snap_head: int | None = None
+) -> None:
     # Re-read the current superblock so the journal geometry fixed at
-    # format time survives every metadata publish.
-    __, journal_start, journal_len = read_layout(device)
+    # format time survives every metadata publish.  ``snap_head=None``
+    # preserves the recorded snapshot chain; the write is always the v4
+    # layout, which is how a v3 image migrates on its first publish.
+    layout = read_layout(device)
     device.write_block(
         SUPERBLOCK_NO,
         _SUPERBLOCK.pack(
@@ -233,8 +268,9 @@ def update_superblock(device: BlockDevice, meta_head: int) -> None:
             _VERSION,
             device.block_size,
             meta_head,
-            journal_start,
-            journal_len,
+            layout.journal_start,
+            layout.journal_len,
+            layout.snap_head if snap_head is None else snap_head,
         ),
     )
 
@@ -252,9 +288,9 @@ def probe_block_size(path: str) -> int | None:
             raw = handle.read(_SUPERBLOCK.size)
     except OSError:
         return None
-    if len(raw) < _SUPERBLOCK.size:
+    if len(raw) < _SUPERBLOCK_V3.size:
         return None
-    magic, version, block_size, __, __, __ = _SUPERBLOCK.unpack_from(raw, 0)
-    if magic != _MAGIC or version != _VERSION or block_size <= 0:
+    magic, version, block_size, __, __, __ = _SUPERBLOCK_V3.unpack_from(raw, 0)
+    if magic != _MAGIC or version not in _READABLE_VERSIONS or block_size <= 0:
         return None
     return block_size

@@ -18,6 +18,7 @@ from repro.fs.compressfs import CompressFS
 from repro.obs import Observability
 from repro.fs.posix_ops import PosixOperations
 from repro.fs.vfs import PassthroughFS
+from repro.snap.diff import diff_inodes
 from repro.storage.block_device import MemoryBlockDevice
 from repro.storage.simclock import CLOUD_ESSD, DeviceProfile, SimClock
 from repro.storage.stats import IOStats
@@ -155,18 +156,21 @@ class ChunkServer:
         return written
 
     def writev(self, requests: list[tuple[str, int, bytes]]) -> int:
-        """Apply several ``(chunk_id, offset, data)`` replaces in one RPC.
+        """Apply several ``(chunk_id, offset, data)`` writes in one RPC.
 
-        Each item carries :meth:`replace` semantics; batching them into
-        one request lets a client mutation touching many chunks pay a
-        single network envelope per server.  Returns total bytes written.
+        Each item carries ``pwrite`` semantics — the chunk grows when a
+        span lands past its current end, which is what lets incremental
+        resync ship growth extents.  Batching them into one request lets
+        a client mutation touching many chunks pay a single network
+        envelope (and, on a durable server, a single group commit)
+        per server.  Returns total bytes written.
         """
         self._ensure_online()
         with self.obs.tracer.span(
             "chunkserver.writev", server=self.name, requests=len(requests)
         ):
             for chunk_id, offset, data in requests:
-                self.replace(chunk_id, offset, data)
+                self.fs._pwrite(self._path(chunk_id), offset, data)
             self._commit()
         return sum(len(data) for __, __, data in requests)
 
@@ -256,6 +260,61 @@ class ChunkServer:
         else:
             self.fs._pwrite(path, offset, data)
         self._commit()
+
+    # -- snapshots -------------------------------------------------------------------
+    # Snapshot RPCs only exist on CompressDB-backed servers: the frozen
+    # inode tables they rely on are an engine structure.  The client
+    # degrades to full-copy resync against baseline servers.
+    def _engine(self) -> CompressDB:
+        self._ensure_online()
+        if not self.compressed:
+            raise ValueError(f"chunkserver {self.name} has no snapshot support")
+        assert isinstance(self.fs, CompressFS)
+        return self.fs.engine
+
+    def snap_create(self, name: str) -> None:
+        """Freeze every chunk this server holds as snapshot ``name``."""
+        self._engine().snapshots.create(name)
+        self._commit()
+
+    def snap_delete(self, name: str) -> None:
+        self._engine().snapshots.delete(name)
+        self._commit()
+
+    def has_snapshot(self, name: str) -> bool:
+        return name in self._engine().snapshots
+
+    def chunk_delta(
+        self, chunk_id: str, base_snap: str
+    ) -> tuple[int, list[tuple[int, bytes]]]:
+        """Current chunk bytes that differ from snapshot ``base_snap``.
+
+        Returns ``(current_length, [(offset, data), ...])``; an empty
+        extent list with a matching length means the chunk is unchanged.
+        A chunk absent from the snapshot (created later) comes back as
+        one full-content extent.  Receivers apply the extents with
+        ``pwrite`` semantics and truncate to the reported length.
+        """
+        engine = self._engine()
+        path = self._path(chunk_id)
+        length = self.fs.stat(path).size
+        frozen = engine.snapshots.lookup(base_snap, path)
+        with self.obs.tracer.span(
+            "chunkserver.chunk_delta", server=self.name, chunk=chunk_id
+        ):
+            if frozen is None:
+                if length == 0:
+                    return 0, []
+                return length, [(0, self.fs._pread(path, 0, length))]
+            engine._flush_pending()
+            live = engine._inodes.get(path)
+            if live is None:  # deleted since the snapshot
+                return 0, []
+            extents = diff_inodes(frozen, live)
+            return length, [
+                (extent.offset, self.fs._pread(path, extent.offset, extent.length))
+                for extent in extents
+            ]
 
     # -- accounting --------------------------------------------------------------------
     def logical_bytes(self) -> int:

@@ -301,6 +301,96 @@ class ClusterClient:
                     repaired += 1
         return repaired
 
+    def snapshot(self, name: str) -> list[str]:
+        """Take (or refresh) cluster snapshot ``name`` on every server.
+
+        Each online CompressDB-backed server freezes its local chunk
+        namespace under the shared name — an O(metadata) RPC per server,
+        no chunk data moves.  An existing snapshot of the same name is
+        replaced, which is how the resync epoch advances: refresh the
+        snapshot whenever the replicas are known consistent, and
+        :meth:`incremental_resync` against it ships only what changed
+        since.  Returns the servers that took the snapshot.
+        """
+        took = []
+        with self.obs.tracer.span("client.snapshot", snapshot=name):
+            for server in self.servers.values():
+                if not server.online or not server.compressed:
+                    continue
+                self._charge(len(name))
+                if server.has_snapshot(name):
+                    server.snap_delete(name)
+                server.snap_create(name)
+                took.append(server.name)
+        return took
+
+    def incremental_resync(self, server_name: str, base_snap: str) -> tuple[int, int]:
+        """Resync a recovered server shipping only post-snapshot deltas.
+
+        For every chunk the target replicates, a live peer reports the
+        block extents that changed since ``base_snap`` (a cluster
+        snapshot taken while the replicas were consistent, see
+        :meth:`snapshot`); only those bytes cross the network, batched
+        into one writev RPC per repaired chunk.  Peers without the
+        snapshot (or baseline peers) fall back to a full chunk copy.
+        Returns ``(chunks_repaired, payload_bytes_shipped)``.
+        """
+        target = self.servers[server_name]
+        if not target.online:
+            raise ValueError(f"server {server_name} is offline; recover it first")
+        repaired = 0
+        shipped = 0
+        with self.obs.tracer.span(
+            "client.incremental_resync", server=server_name, base=base_snap
+        ):
+            local_chunks = set(target.chunk_ids())
+            for chunk in self.master.chunks_on(server_name):
+                peers = [
+                    self.servers[name]
+                    for name in chunk.servers
+                    if name != server_name and self.servers[name].online
+                ]
+                if not peers:
+                    continue
+                peer = peers[0]
+                if not (peer.compressed and peer.has_snapshot(base_snap)):
+                    # No delta source: authoritative full copy, as resync().
+                    authoritative = peer.read(chunk.chunk_id, 0, chunk.length)
+                    if chunk.chunk_id not in local_chunks:
+                        target.create_chunk(chunk.chunk_id)
+                    local = target.read(
+                        chunk.chunk_id, 0, target.chunk_length(chunk.chunk_id)
+                    )
+                    if local != authoritative:
+                        self._charge(len(authoritative))
+                        shipped += len(authoritative)
+                        target.truncate(chunk.chunk_id, 0)
+                        target.write(chunk.chunk_id, 0, authoritative)
+                        repaired += 1
+                    continue
+                self._charge(0)  # delta request RPC
+                length, extents = peer.chunk_delta(chunk.chunk_id, base_snap)
+                if chunk.chunk_id not in local_chunks:
+                    target.create_chunk(chunk.chunk_id)
+                changed = False
+                if extents:
+                    payload = sum(len(data) for __, data in extents)
+                    self._charge(payload)
+                    shipped += payload
+                    target.writev(
+                        [
+                            (chunk.chunk_id, offset, data)
+                            for offset, data in extents
+                        ]
+                    )
+                    changed = True
+                if target.chunk_length(chunk.chunk_id) != length:
+                    target.truncate(chunk.chunk_id, length)
+                    changed = True
+                if changed:
+                    repaired += 1
+        return repaired, shipped
+
     # -- search / count ---------------------------------------------------------------------------
     def search(self, path: str, pattern: bytes) -> list[int]:
         """All occurrence offsets of ``pattern`` in the file.

@@ -170,6 +170,15 @@ class Master:
         return result
 
     # -- statistics ------------------------------------------------------------------------
+    def chunks_on(self, server_name: str) -> list[ChunkInfo]:
+        """Every chunk with a replica placed on ``server_name``."""
+        found = []
+        for path in sorted(self._files):
+            for chunk in self._files[path].chunks:
+                if server_name in chunk.servers:
+                    found.append(chunk)
+        return found
+
     def total_logical_bytes(self) -> int:
         return sum(entry.size for entry in self._files.values())
 

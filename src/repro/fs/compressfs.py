@@ -14,9 +14,23 @@ from typing import Optional
 
 from repro.core.engine import CompressDB, FileExistsInEngine, FileNotFoundInEngine
 from repro.core.operations import OperationModule
-from repro.fs.errors import FileExists, FileNotFound, InvalidArgument
+from repro.fs import fd as fdmod
+from repro.fs.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    PermissionDenied,
+)
 from repro.fs.vfs import FileSystem
 from repro.storage.block_device import BlockDevice
+
+#: Virtual subtree exposing snapshots: ``/.snap/<name>/<path>`` is a
+#: read-only view of ``<path>`` as of snapshot ``<name>``.
+SNAP_ROOT = "/.snap"
+
+_WRITE_FLAGS = (
+    fdmod.O_WRONLY | fdmod.O_RDWR | fdmod.O_CREAT | fdmod.O_TRUNC | fdmod.O_APPEND
+)
 
 
 class CompressFS(FileSystem):
@@ -40,40 +54,115 @@ class CompressFS(FileSystem):
         """The pushed-down operation module (insert/delete/search/...)."""
         return self.engine.ops
 
+    # -- snapshot subtree ------------------------------------------------------
+    @staticmethod
+    def _snapshot_target(path: str) -> Optional[tuple[str, str]]:
+        """Decode ``/.snap/<name>/<path>``; None for ordinary paths."""
+        if not path.startswith(SNAP_ROOT + "/"):
+            return None
+        rest = path[len(SNAP_ROOT) + 1 :]
+        name, sep, tail = rest.partition("/")
+        if not name or not sep or not tail:
+            return None
+        return name, "/" + tail
+
+    def _frozen(self, path: str):
+        """The FrozenInode behind a virtual path, or None."""
+        target = self._snapshot_target(path)
+        if target is None:
+            return None
+        name, original = target
+        if name not in self.engine.snapshots:
+            return None
+        return self.engine.snapshots.lookup(name, original)
+
+    def open(
+        self, path: str, flags: int = fdmod.O_RDONLY, snapshot: Optional[str] = None
+    ) -> int:
+        """Open a live file — or, with ``snapshot``, its frozen image.
+
+        ``open(path, snapshot="monday")`` is sugar for opening the
+        virtual path ``/.snap/monday/<path>``; either spelling yields a
+        read-only descriptor backed by the frozen inode table.
+        """
+        if snapshot is not None:
+            if flags & _WRITE_FLAGS:
+                raise PermissionDenied(
+                    f"snapshot {snapshot!r} is read-only: open with O_RDONLY"
+                )
+            path = f"{SNAP_ROOT}/{snapshot}" + (
+                path if path.startswith("/") else "/" + path
+            )
+        return super().open(path, flags)
+
     # -- primitives -----------------------------------------------------------
     def _create(self, path: str) -> None:
+        if path.startswith(SNAP_ROOT + "/") or path == SNAP_ROOT:
+            raise PermissionDenied(f"{SNAP_ROOT} is a read-only snapshot view")
         try:
             self.engine.create(path)
         except FileExistsInEngine:
             raise FileExists(path) from None
 
     def _unlink(self, path: str) -> None:
+        if self._snapshot_target(path) is not None:
+            raise PermissionDenied(f"{path}: snapshots are read-only")
         try:
             self.engine.unlink(path)
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
 
     def _exists(self, path: str) -> bool:
+        if self._snapshot_target(path) is not None:
+            return self._frozen(path) is not None
         return self.engine.exists(path)
 
     def _size(self, path: str) -> int:
+        frozen = self._frozen(path)
+        if frozen is not None:
+            return frozen.size
+        if self._snapshot_target(path) is not None:
+            raise FileNotFound(path)
         try:
             return self.engine.file_size(path)
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
 
     def _list(self) -> list[str]:
+        # Virtual .snap entries are deliberately absent: they carry no
+        # logical bytes of their own and must not leak into database
+        # directory scans.  ``listdir("/.snap...")`` surfaces them.
         return self.engine.list_files()
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        if prefix.startswith(SNAP_ROOT):
+            entries = []
+            for name in self.engine.snapshots.names():
+                for path in self.engine.snapshots.get(name).files:
+                    virtual = f"{SNAP_ROOT}/{name}" + (
+                        path if path.startswith("/") else "/" + path
+                    )
+                    if virtual.startswith(prefix):
+                        entries.append(virtual)
+            return sorted(entries)
+        return super().listdir(prefix)
 
     def _pread(self, path: str, offset: int, size: int) -> bytes:
         if offset < 0 or size < 0:
             raise InvalidArgument("offset and size must be non-negative")
+        frozen = self._frozen(path)
+        if frozen is not None:
+            return frozen.read(self.engine.device, offset, size)
+        if self._snapshot_target(path) is not None:
+            raise FileNotFound(path)
         try:
             return self.engine.read(path, offset, size)
         except FileNotFoundInEngine:
             raise FileNotFound(path) from None
 
     def _pwrite(self, path: str, offset: int, data: bytes) -> int:
+        if self._snapshot_target(path) is not None:
+            raise PermissionDenied(f"{path}: snapshots are read-only")
         if offset < 0:
             raise InvalidArgument("offset must be non-negative")
         try:
@@ -86,6 +175,12 @@ class CompressFS(FileSystem):
         for offset, size in spans:
             if offset < 0 or size < 0:
                 raise InvalidArgument("offset and size must be non-negative")
+        frozen = self._frozen(path)
+        if frozen is not None:
+            device = self.engine.device
+            return [frozen.read(device, offset, size) for offset, size in spans]
+        if self._snapshot_target(path) is not None:
+            raise FileNotFound(path)
         try:
             return self.engine.readv(path, spans)
         except FileNotFoundInEngine:
@@ -93,6 +188,8 @@ class CompressFS(FileSystem):
 
     def _pwritev(self, path: str, spans: list[tuple[int, bytes]]) -> int:
         """Vectored write; sequential spans coalesce in the engine buffer."""
+        if self._snapshot_target(path) is not None:
+            raise PermissionDenied(f"{path}: snapshots are read-only")
         for offset, _ in spans:
             if offset < 0:
                 raise InvalidArgument("offset must be non-negative")
@@ -102,6 +199,8 @@ class CompressFS(FileSystem):
             raise FileNotFound(path) from None
 
     def _truncate(self, path: str, size: int) -> None:
+        if self._snapshot_target(path) is not None:
+            raise PermissionDenied(f"{path}: snapshots are read-only")
         if size < 0:
             raise InvalidArgument("size must be non-negative")
         try:
@@ -115,8 +214,10 @@ class CompressFS(FileSystem):
         On a mounted (formatted) engine this publishes the metadata
         image and commits the journal epoch with its write barrier; on
         a plain in-memory engine it degrades to flushing the coalescing
-        buffer.
+        buffer.  Frozen ``.snap`` views have nothing to make durable.
         """
+        if self._snapshot_target(path) is not None:
+            return
         self.engine.fsync(path)
 
     def write_file(self, path: str, data: bytes) -> None:

@@ -142,7 +142,19 @@ class FileSystem:
         self._unlink(old)
 
     # -- descriptor API ----------------------------------------------------------
-    def open(self, path: str, flags: int = fdmod.O_RDONLY) -> int:
+    def open(
+        self, path: str, flags: int = fdmod.O_RDONLY, snapshot: Optional[str] = None
+    ) -> int:
+        """Open ``path``; ``snapshot`` requests a time-travel view.
+
+        Passing ``snapshot`` opens the file exactly as it was when that
+        snapshot was taken (read-only).  Only snapshot-capable file
+        systems support it; the base implementation rejects it.
+        """
+        if snapshot is not None:
+            raise InvalidArgument(
+                "this file system does not support snapshot reads"
+            )
         exists = self._exists(path)
         if not exists:
             if not flags & fdmod.O_CREAT:

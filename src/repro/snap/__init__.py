@@ -1,0 +1,38 @@
+"""repro.snap — point-in-time CoW snapshots over the CompressDB engine.
+
+Rule-level block sharing (blockRefCount + blockHashTable) makes a
+filesystem-wide snapshot an O(metadata) operation: freeze the inode
+table and take one extra reference on every live block.  The paper's
+SIGMOD 2022 north star — "backup, time-travel, incremental
+replication" — falls out of three primitives built here:
+
+* :class:`~repro.snap.manager.SnapshotManager` — create / delete /
+  rollback / clone, persisted through the superblock (v4) inside a
+  journal transaction;
+* :func:`~repro.snap.diff.diff_tables` — block-level diff between two
+  frozen inode tables (or a frozen table and the live namespace);
+* :class:`~repro.snap.record.FrozenInode` — the immutable slot table a
+  time-travel read resolves against.
+"""
+
+from repro.snap.diff import DiffEntry, Extent, diff_inodes, diff_tables
+from repro.snap.manager import (
+    SnapshotError,
+    SnapshotExists,
+    SnapshotManager,
+    SnapshotNotFound,
+)
+from repro.snap.record import FrozenInode, SnapshotRecord
+
+__all__ = [
+    "DiffEntry",
+    "Extent",
+    "FrozenInode",
+    "SnapshotError",
+    "SnapshotExists",
+    "SnapshotManager",
+    "SnapshotNotFound",
+    "SnapshotRecord",
+    "diff_inodes",
+    "diff_tables",
+]

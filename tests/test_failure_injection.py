@@ -426,3 +426,91 @@ class TestChunkServerRestart:
         server = ChunkServer("cs-2", clock=SimClock(), durable=False)
         with pytest.raises(ValueError):
             server.restart()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot crash points: every snapshot mutation commits atomically
+# ---------------------------------------------------------------------------
+
+
+def _snap_state(engine):
+    """Everything a snapshot crash can damage: live files AND frozen images."""
+    files = {path: engine.read_file(path) for path in engine.list_files()}
+    snaps = {
+        name: {
+            path: engine.snapshots.read(name, path)
+            for path in engine.snapshots.get(name).files
+        }
+        for name in engine.snapshots.names()
+    }
+    return files, snaps
+
+
+def _snap_workload(engine):
+    """Snapshot lifecycle mixed with live mutations, one commit each."""
+    engine.snapshots.create("base")
+    engine.fsync()
+    yield
+    engine.write("/keep", 0, b"overwritten after the base snapshot!")
+    engine.fsync()
+    yield
+    engine.snapshots.create("second")
+    engine.fsync()
+    yield
+    engine.snapshots.clone("base", "/restore")
+    engine.fsync()
+    yield
+    engine.snapshots.rollback("base")
+    engine.fsync()
+    yield
+    engine.snapshots.delete("second")
+    engine.fsync()
+    yield
+
+
+class TestSnapshotCrashMatrix:
+    """Kill the process at every device write during snapshot create /
+    clone / rollback / delete; remount; the recovered image must pass a
+    clean fsck (snapshot references included) and equal exactly the
+    pre- or post-image of the interrupted operation — live files and
+    frozen snapshot contents both."""
+
+    def _observe(self, template):
+        device = copy.deepcopy(template)
+        engine = CompressDB.mount(device)
+        states = [_snap_state(engine)]
+        for __ in _snap_workload(engine):
+            states.append(_snap_state(engine))
+        return states
+
+    def test_every_snapshot_crash_point_recovers_to_pre_or_post_image(self):
+        template = _journaled_template()
+        states = self._observe(template)
+        crash_points = 0
+        k = 1
+        while True:
+            device = copy.deepcopy(template)
+            wrapped = CrashPointDevice(device, crash_after=k)
+            completed = 0
+            finished = False
+            try:
+                engine = CompressDB.mount(wrapped)
+                for __ in _snap_workload(engine):
+                    completed += 1
+                finished = True
+            except CrashPoint:
+                pass
+            if finished:
+                break
+            recovered = CompressDB.mount(device)
+            state = _snap_state(recovered)
+            _assert_clean(recovered)
+            pre = states[completed]
+            post = states[completed + 1] if completed + 1 < len(states) else None
+            assert state == pre or state == post, (
+                f"crash at write {k} (after op {completed}): recovered "
+                f"snapshot state matches neither the pre- nor the post-image"
+            )
+            crash_points += 1
+            k += 1
+        assert crash_points > 10

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.refcount import BlockRefCount
+from repro.core.refcount import BlockRefCount, RefcountUnderflowError
 from repro.storage.block_device import MemoryBlockDevice
 
 
@@ -29,6 +29,31 @@ class TestCounting:
     def test_decref_of_unreferenced_block_raises(self, refcount):
         with pytest.raises(ValueError):
             refcount.decref(9)
+
+    def test_underflow_has_a_dedicated_type(self, refcount):
+        # The dedicated type subclasses ValueError so pre-existing
+        # handlers keep working, but lets callers tell an accounting
+        # bug apart from a generic bad argument.
+        with pytest.raises(RefcountUnderflowError):
+            refcount.decref(9)
+        assert issubclass(RefcountUnderflowError, ValueError)
+
+    def test_underflow_raised_after_decref_to_zero(self, refcount):
+        refcount.incref(1)
+        refcount.decref(1)
+        with pytest.raises(RefcountUnderflowError):
+            refcount.decref(1)
+
+    def test_underflow_consistent_across_restore(self, device, refcount):
+        # The persisted partition round-trip must not change the
+        # underflow behaviour: a count restored from disk underflows
+        # with the same dedicated type as a cached one.
+        refcount.incref(1)
+        refcount.persist()
+        refcount.restore()
+        assert refcount.decref(1) == 0
+        with pytest.raises(RefcountUnderflowError):
+            refcount.decref(1)
 
     def test_set_and_live_blocks(self, refcount):
         refcount.set(3, 5)
