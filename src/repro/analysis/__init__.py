@@ -30,6 +30,7 @@ from repro.analysis.runner import LintReport, collect_files, default_target, run
 # Imported for their registration side effect: each rule module adds its
 # checker to CHECKER_REGISTRY, so the registry is complete as soon as the
 # package is imported (``repro lint --list-rules`` relies on this).
+from repro.analysis import rules_encoding  # noqa: E402,F401
 from repro.analysis import rules_io  # noqa: E402,F401
 from repro.analysis import rules_layering  # noqa: E402,F401
 from repro.analysis import rules_locks  # noqa: E402,F401

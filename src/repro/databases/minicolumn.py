@@ -1,31 +1,46 @@
 """MiniColumn: a column-oriented SQL engine (the ClickHouse stand-in).
 
-Each table stores its data **per column**:
+Each table stores its data **per column** as a sequence of *blocks*,
+one per insert batch, described by a fixed-width block directory
+(``<column>.seg``).  A block is written in the cheapest of four
+formats, chosen per batch by a stats-driven picker
+(:mod:`repro.databases.colcodec`):
 
-* INT and REAL columns are fixed-width files (8 bytes per row), so a
-  scan touches only the referenced columns and a point access is one
-  positioned read;
-* TEXT columns are a heap file plus a fixed-width offsets file, giving
-  O(1) random access to variable-length strings.
+* ``PLAIN``  — fixed-width cells (8 bytes per INT/REAL value; TEXT is
+  a heap file plus (start, length) offset pairs);
+* ``RLE``    — run-length encoded values;
+* ``DELTA``  — first value + bit-packed frame-of-reference deltas;
+* ``DICT``   — per-block string dictionary + bit-packed codes (TEXT).
 
-Queries share the SQL parser/executor with MiniSQL; what the column
-store adds is the columnar access path — projection pruning (only the
-referenced columns are read) and batch column scans.  That is the
-property the paper's Figure 9 / range-scan experiments exercise
-(``SELECT id, sum(cnt)/count(dt) avg_cnt FROM tbl WHERE idx >= 0 AND
-idx <= 8 GROUP BY id ORDER BY avg_cnt DESC``).
+Scans are *encoding-aware*: surviving blocks (zone maps prune per-batch
+min/max first) are handed to the vectorized executor as encoded column
+vectors, so an RLE run is accepted or rejected once and a dictionary
+predicate tests each distinct string once.  Queries the vector path
+cannot express fall back to the shared row interpreter
+(:mod:`repro.databases.sql_executor`).
 
-Writes follow ClickHouse's spirit: INSERTs append rows; UPDATE is a
-mutation that rewrites the affected column cells in place (fixed
-width) or appends to the heap (TEXT).
+Writes follow ClickHouse's spirit: INSERTs append encoded blocks;
+UPDATE *demotes* the covering block to the plain format (appending the
+re-encoded payload and patching its directory entry — the old bytes
+become garbage until :meth:`ColumnTable.optimize`); a later "morph"
+step re-encodes demoted blocks once the operator mix is scan-heavy
+again.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Iterator, Optional, Sequence
+from bisect import bisect_right
+from typing import Iterator, NamedTuple, Optional, Sequence
 
+from repro.databases import colcodec
+from repro.databases.colcodec import (
+    NULL_LENGTH,
+    PLAIN,
+    ColumnVector,
+    PlainVector,
+)
 from repro.databases.common import Database, DatabaseError
 from repro.databases.sql_executor import evaluate, run_select
 from repro.databases.sql_parser import (
@@ -50,29 +65,58 @@ _FIXED = struct.Struct("<q")  # INT cell
 _REAL = struct.Struct("<d")  # REAL cell
 _OFFSET = struct.Struct("<QQ")  # TEXT cell: (heap start, length)
 _ZONE = struct.Struct("<QQddB")  # start row, row count, min, max, has-null
+#: Block directory entry: start row, row count, byte offset, byte
+#: length, encoding, flags.
+_SEGMENT = struct.Struct("<QQQQBB")
 
-#: NULL encodings inside fixed-width cells.
-_NULL_INT = -(2**62) - 1
-_NULL_REAL = float("-inf")
-_NULL_LENGTH = (1 << 64) - 1  # TEXT NULL marker in the length field
+#: Directory-entry flag: an in-place UPDATE forced this block to plain.
+_SEG_DEMOTED = 1
+
+#: NULL encodings inside fixed-width cells (canonical values live in
+#: the codec module; re-exported here for existing importers).
+_NULL_INT = colcodec.NULL_INT
+_NULL_REAL = colcodec.NULL_REAL
+_NULL_LENGTH = NULL_LENGTH
 
 
 class ColumnStoreError(DatabaseError):
     """Schema violation or unsupported operation."""
 
 
-class _ColumnFile:
-    """One column of one table."""
+class _Segment(NamedTuple):
+    """One block directory entry."""
 
-    def __init__(self, fs: FileSystem, base: str, name: str, type_name: str) -> None:
+    start: int
+    count: int
+    offset: int
+    length: int
+    encoding: int
+    flags: int
+
+
+class _ColumnFile:
+    """One column of one table: encoded blocks + block directory."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        base: str,
+        name: str,
+        type_name: str,
+        encode: bool = True,
+    ) -> None:
         self.fs = fs
         self.name = name
         self.type_name = type_name
+        self.encode = encode
         self.data_path = f"{base}/{name}.col"
         self.heap_path = f"{base}/{name}.heap"
         self.zmap_path = f"{base}/{name}.zmap"
+        self.seg_path = f"{base}/{name}.seg"
         if not fs.exists(self.data_path):
             fs.write_file(self.data_path, b"")
+        if not fs.exists(self.seg_path):
+            fs.write_file(self.seg_path, b"")
         if type_name == "TEXT" and not fs.exists(self.heap_path):
             fs.write_file(self.heap_path, b"")
         if self.numeric and not fs.exists(self.zmap_path):
@@ -86,8 +130,35 @@ class _ColumnFile:
     def cell_size(self) -> int:
         return _OFFSET.size if self.type_name == "TEXT" else 8
 
+    # -- block directory ------------------------------------------------------
+    def segments(self) -> list[_Segment]:
+        raw = self.fs.read_file(self.seg_path)
+        return [_Segment(*fields) for fields in _SEGMENT.iter_unpack(raw)]
+
+    def _patch_segment(self, index: int, segment: _Segment) -> None:
+        self.fs._pwrite(
+            self.seg_path, index * _SEGMENT.size, _SEGMENT.pack(*segment)
+        )
+
+    def _segment_covering(self, row: int) -> tuple[int, _Segment]:
+        segments = self.segments()
+        starts = [segment.start for segment in segments]
+        index = bisect_right(starts, row) - 1
+        if index < 0 or row >= segments[index].start + segments[index].count:
+            raise ColumnStoreError(f"row {row} out of range")
+        return index, segments[index]
+
     def row_count(self) -> int:
-        return self.fs.stat(self.data_path).size // self.cell_size
+        """Logical rows (including rows marked deleted by the table)."""
+        size = self.fs.stat(self.seg_path).size
+        if size == 0:
+            return 0
+        raw = self.fs._pread(self.seg_path, size - _SEGMENT.size, _SEGMENT.size)
+        last = _Segment(*_SEGMENT.unpack(raw))
+        return last.start + last.count
+
+    def has_demoted_blocks(self) -> bool:
+        return any(segment.flags & _SEG_DEMOTED for segment in self.segments())
 
     # -- zone map (sparse min/max index, one entry per insert batch) -----------
     def _append_zone(self, start_row: int, values: Sequence[object]) -> None:
@@ -113,162 +184,351 @@ class _ColumnFile:
         ]
 
     def _widen_zone(self, row: int, value: object) -> None:
-        """Grow the covering zone entry after an in-place update."""
+        """Grow the covering zone entry after an in-place update.
+
+        Zone entries are sorted by start row and contiguous, so the
+        covering entry is found by binary search with positioned reads
+        and patched with one positioned write — the rest of the
+        ``.zmap`` file is never touched.
+        """
         if not self.numeric:
             return
-        raw = self.fs.read_file(self.zmap_path)
-        offset = 0
-        for index in range(len(raw) // _ZONE.size):
-            start, count, low, high, flag = _ZONE.unpack_from(raw, offset)
-            if start <= row < start + count:
+        total = self.fs.stat(self.zmap_path).size // _ZONE.size
+        lo, hi = 0, total - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            raw = self.fs._pread(self.zmap_path, mid * _ZONE.size, _ZONE.size)
+            start, count, low, high, flag = _ZONE.unpack(raw)
+            if row < start:
+                hi = mid - 1
+            elif row >= start + count:
+                lo = mid + 1
+            else:
                 if value is None:
                     flag = 1
                 else:
                     low = min(low, float(value))  # type: ignore[arg-type]
                     high = max(high, float(value))  # type: ignore[arg-type]
                 self.fs._pwrite(
-                    self.zmap_path, offset, _ZONE.pack(start, count, low, high, flag)
+                    self.zmap_path,
+                    mid * _ZONE.size,
+                    _ZONE.pack(start, count, low, high, flag),
                 )
                 return
-            offset += _ZONE.size
 
     # -- encode / append ------------------------------------------------------
-    def append_values(self, values: Sequence[object]) -> None:
-        self._append_zone(self.row_count(), values)
-        if self.type_name == "INT":
-            cells = b"".join(
-                _FIXED.pack(_NULL_INT if value is None else int(value))  # type: ignore[arg-type]
-                for value in values
-            )
-            self.fs.append_file(self.data_path, cells)
-            return
-        if self.type_name == "REAL":
-            cells = b"".join(
-                _REAL.pack(_NULL_REAL if value is None else float(value))  # type: ignore[arg-type]
-                for value in values
-            )
-            self.fs.append_file(self.data_path, cells)
-            return
-        # TEXT: heap of utf-8 strings + (start, length) per row.
-        heap_end = self.fs.stat(self.heap_path).size
-        heap = bytearray()
-        offsets = bytearray()
+    def _validate_text(self, values: Sequence[object]) -> None:
         for value in values:
-            if value is None:
-                offsets += _OFFSET.pack(0, _NULL_LENGTH)
-            else:
-                if not isinstance(value, str):
-                    raise ColumnStoreError(f"expected TEXT, got {value!r}")
-                raw = value.encode("utf-8")
-                offsets += _OFFSET.pack(heap_end + len(heap), len(raw))
-                heap += raw
-        if heap:
-            self.fs.append_file(self.heap_path, bytes(heap))
-        self.fs.append_file(self.data_path, bytes(offsets))
+            if value is not None and not isinstance(value, str):
+                raise ColumnStoreError(f"expected TEXT, got {value!r}")
+
+    def _encode_payload(self, values: Sequence[object], encoding: int) -> bytes:
+        """Block payload bytes; plain TEXT appends its strings to the heap."""
+        if self.type_name == "TEXT":
+            self._validate_text(values)
+            if encoding == PLAIN:
+                heap_end = self.fs.stat(self.heap_path).size
+                heap = bytearray()
+                offsets = bytearray()
+                for value in values:
+                    if value is None:
+                        offsets += _OFFSET.pack(0, _NULL_LENGTH)
+                    else:
+                        raw = value.encode("utf-8")  # type: ignore[union-attr]
+                        offsets += _OFFSET.pack(heap_end + len(heap), len(raw))
+                        heap += raw
+                if heap:
+                    self.fs.append_file(self.heap_path, bytes(heap))
+                return bytes(offsets)
+            return colcodec.encode_block("TEXT", encoding, values)  # type: ignore[arg-type]
+        return colcodec.encode_block(self.type_name, encoding, values)  # type: ignore[arg-type]
+
+    def _choose_encoding(self, values: Sequence[object]) -> int:
+        if not self.encode:
+            return PLAIN
+        if self.type_name == "TEXT":
+            self._validate_text(values)
+        return colcodec.choose_encoding(self.type_name, values)  # type: ignore[arg-type]
+
+    def append_values(self, values: Sequence[object]) -> None:
+        values = list(values)
+        if not values:
+            return
+        start = self.row_count()
+        self._append_zone(start, values)
+        encoding = self._choose_encoding(values)
+        payload = self._encode_payload(values, encoding)
+        block_offset = self.fs.stat(self.data_path).size
+        self.fs.append_file(self.data_path, payload)
+        self.fs.append_file(
+            self.seg_path,
+            _SEGMENT.pack(start, len(values), block_offset, len(payload), encoding, 0),
+        )
 
     # -- read -------------------------------------------------------------------
     def read_all(self) -> list[object]:
         return self.read_range(0, self.row_count())
 
     def read_range(self, start: int, count: int) -> list[object]:
-        """Values of rows [start, start+count) via one sequential read."""
+        """Values of rows [start, start+count)."""
         return self.read_ranges([(start, count)])[0]
-
-    def read_ranges(self, spans: Sequence[tuple[int, int]]) -> list[list[object]]:
-        """Values for several (start row, count) ranges via vectored reads.
-
-        The cell file is read with one ``preadv`` covering every range,
-        and for TEXT columns the heap spans of all ranges go through a
-        second ``preadv`` — so a pruned scan touching k surviving
-        batches costs two vectored requests, not 2k positional reads.
-        """
-        results: list[Optional[list[object]]] = [
-            [] if count <= 0 else None for __, count in spans
-        ]
-        live = [
-            (index, start, count)
-            for index, (start, count) in enumerate(spans)
-            if count > 0
-        ]
-        raws = self.fs._preadv(
-            self.data_path,
-            [(start * self.cell_size, count * self.cell_size) for __, start, count in live],
-        )
-        if self.type_name == "INT":
-            for (index, __, __), raw in zip(live, raws):
-                results[index] = [
-                    None if cell == _NULL_INT else cell
-                    for (cell,) in _FIXED.iter_unpack(raw)
-                ]
-            return results  # type: ignore[return-value]
-        if self.type_name == "REAL":
-            for (index, __, __), raw in zip(live, raws):
-                results[index] = [
-                    None if cell == _NULL_REAL else cell
-                    for (cell,) in _REAL.iter_unpack(raw)
-                ]
-            return results  # type: ignore[return-value]
-        # TEXT: decode every range's (start, length) entries first, then
-        # fetch all heap spans in one vectored read.  Relocated cells
-        # (after updates) just widen a range's span.
-        entry_lists = [list(_OFFSET.iter_unpack(raw)) for raw in raws]
-        heap_spans: list[tuple[int, int]] = []
-        for entries in entry_lists:
-            live_cells = [
-                (cell_start, length)
-                for cell_start, length in entries
-                if length != _NULL_LENGTH
-            ]
-            if not live_cells:
-                heap_spans.append((0, 0))
-                continue
-            span_start = min(cell_start for cell_start, __ in live_cells)
-            span_end = max(cell_start + length for cell_start, length in live_cells)
-            heap_spans.append((span_start, span_end - span_start))
-        heaps = self.fs._preadv(self.heap_path, heap_spans)
-        for (index, __, __), entries, (span_start, __), heap in zip(
-            live, entry_lists, heap_spans, heaps
-        ):
-            values: list[object] = []
-            for cell_start, length in entries:
-                if length == _NULL_LENGTH:
-                    values.append(None)
-                else:
-                    base = cell_start - span_start
-                    values.append(heap[base : base + length].decode("utf-8"))
-            results[index] = values
-        return results  # type: ignore[return-value]
 
     def read_one(self, row: int) -> object:
         return self.read_range(row, 1)[0]
 
-    # -- update -----------------------------------------------------------------------
+    def _plan_spans(
+        self, spans: Sequence[tuple[int, int]]
+    ) -> tuple[list[tuple[int, int, int, int, int]], list[tuple[int, int]], dict[int, int]]:
+        """Map row spans onto blocks and build one vectored read plan.
+
+        Returns ``(parts, requests, payload_request_of_segment)`` where
+        each part is ``(span index, segment index, lo row, hi row,
+        request index)``.  Plain blocks read only the covering cell
+        window; encoded blocks read their whole payload (once, even if
+        several spans touch the same block).
+        """
+        segments = self.segments()
+        starts = [segment.start for segment in segments]
+        parts: list[tuple[int, int, int, int, int]] = []
+        requests: list[tuple[int, int]] = []
+        payload_request: dict[int, int] = {}
+        for span_index, (start, count) in enumerate(spans):
+            if count <= 0:
+                continue
+            end = start + count
+            index = max(bisect_right(starts, start) - 1, 0)
+            while index < len(segments) and segments[index].start < end:
+                segment = segments[index]
+                lo = max(start, segment.start)
+                hi = min(end, segment.start + segment.count)
+                if lo < hi:
+                    if segment.encoding == PLAIN:
+                        requests.append(
+                            (
+                                segment.offset + (lo - segment.start) * self.cell_size,
+                                (hi - lo) * self.cell_size,
+                            )
+                        )
+                        request = len(requests) - 1
+                    else:
+                        request = payload_request.get(index, -1)
+                        if request < 0:
+                            requests.append((segment.offset, segment.length))
+                            request = len(requests) - 1
+                            payload_request[index] = request
+                    parts.append((span_index, index, lo, hi, request))
+                index += 1
+        return parts, requests, payload_request
+
+    def read_ranges(self, spans: Sequence[tuple[int, int]]) -> list[list[object]]:
+        """Values for several (start row, count) ranges via vectored reads.
+
+        The block payloads of every range go through one ``preadv``,
+        and for TEXT columns the heap spans of all plain blocks go
+        through a second ``preadv`` — so a pruned scan touching k
+        surviving batches costs two vectored requests, not 2k
+        positional reads.
+        """
+        results: list[list[object]] = [[] for __ in spans]
+        parts, requests, __ = self._plan_spans(spans)
+        if not parts:
+            return results
+        raws = self.fs._preadv(self.data_path, requests)
+        segments = self.segments()
+        decoded: dict[int, list[object]] = {}
+        if self.type_name == "TEXT":
+            self._assemble_text(parts, segments, raws, decoded, results)
+            return results
+        for span_index, seg_index, lo, hi, request in parts:
+            segment = segments[seg_index]
+            if segment.encoding == PLAIN:
+                results[span_index].extend(
+                    colcodec.decode_plain(self.type_name, raws[request])
+                )
+                continue
+            values = decoded.get(seg_index)
+            if values is None:
+                values = colcodec.decode_block(
+                    self.type_name, segment.encoding, raws[request], segment.count
+                )
+                decoded[seg_index] = values
+            results[span_index].extend(
+                values[lo - segment.start : hi - segment.start]
+            )
+        return results
+
+    def _assemble_text(
+        self,
+        parts: list[tuple[int, int, int, int, int]],
+        segments: list[_Segment],
+        raws: list[bytes],
+        decoded: dict[int, list[object]],
+        results: list[list[object]],
+    ) -> None:
+        """TEXT assembly: plain parts fetch their heap window in one
+        vectored read; dictionary parts are self-contained."""
+        entry_lists: list[Optional[list[tuple[int, int]]]] = []
+        heap_spans: list[tuple[int, int]] = []
+        for __, seg_index, __, __, request in parts:
+            if segments[seg_index].encoding != PLAIN:
+                entry_lists.append(None)
+                continue
+            entries = list(_OFFSET.iter_unpack(raws[request]))
+            entry_lists.append(entries)
+            live = [(s, n) for s, n in entries if n != _NULL_LENGTH]
+            if not live:
+                heap_spans.append((0, 0))
+                continue
+            span_start = min(s for s, __ in live)
+            span_end = max(s + n for s, n in live)
+            heap_spans.append((span_start, span_end - span_start))
+        heaps = iter(self.fs._preadv(self.heap_path, heap_spans) if heap_spans else [])
+        span_iter = iter(heap_spans)
+        for (span_index, seg_index, lo, hi, request), entries in zip(parts, entry_lists):
+            segment = segments[seg_index]
+            if entries is None:
+                values = decoded.get(seg_index)
+                if values is None:
+                    values = colcodec.decode_block(
+                        "TEXT", segment.encoding, raws[request], segment.count
+                    )
+                    decoded[seg_index] = values
+                results[span_index].extend(
+                    values[lo - segment.start : hi - segment.start]
+                )
+                continue
+            span_start, __ = next(span_iter)
+            heap = next(heaps)
+            for cell_start, length in entries:
+                if length == _NULL_LENGTH:
+                    results[span_index].append(None)
+                else:
+                    base = cell_start - span_start
+                    results[span_index].append(
+                        heap[base : base + length].decode("utf-8")
+                    )
+
+    def read_vectors(self, spans: Sequence[tuple[int, int]]) -> list[ColumnVector]:
+        """One :class:`ColumnVector` per (start, count) span.
+
+        A span that exactly covers one encoded block keeps its encoded
+        form (RLE runs, dictionary codes); everything else — plain
+        blocks, straddling spans — materialises into a plain vector.
+        """
+        segments = self.segments()
+        starts = [segment.start for segment in segments]
+        vectors: list[Optional[ColumnVector]] = [None] * len(spans)
+        pending: list[tuple[int, _Segment]] = []
+        requests: list[tuple[int, int]] = []
+        fallback: list[tuple[int, tuple[int, int]]] = []
+        for span_index, (start, count) in enumerate(spans):
+            index = bisect_right(starts, start) - 1
+            segment = segments[index] if 0 <= index < len(segments) else None
+            if (
+                segment is not None
+                and segment.start == start
+                and segment.count == count
+                and segment.encoding != PLAIN
+            ):
+                requests.append((segment.offset, segment.length))
+                pending.append((span_index, segment))
+            else:
+                fallback.append((span_index, (start, count)))
+        if requests:
+            raws = self.fs._preadv(self.data_path, requests)
+            for (span_index, segment), raw in zip(pending, raws):
+                vectors[span_index] = colcodec.decode_vector(
+                    self.type_name, segment.encoding, raw, segment.count
+                )
+        if fallback:
+            value_lists = self.read_ranges([span for __, span in fallback])
+            for (span_index, __), values in zip(fallback, value_lists):
+                vectors[span_index] = PlainVector(values)
+        return vectors  # type: ignore[return-value]
+
+    # -- update / morph ---------------------------------------------------------
     def update_cell(self, row: int, value: object) -> None:
         self._widen_zone(row, value)
+        index, segment = self._segment_covering(row)
+        if segment.encoding != PLAIN:
+            # Processing-friendly formats are immutable: decode the
+            # block, apply the change, and demote it to plain (append
+            # the new payload, patch the directory entry in place).
+            values = self.read_range(segment.start, segment.count)
+            values[row - segment.start] = value
+            self._rewrite_block(index, segment, values, PLAIN, _SEG_DEMOTED)
+            return
+        cell_offset = segment.offset + (row - segment.start) * self.cell_size
         if self.type_name == "INT":
             cell = _FIXED.pack(_NULL_INT if value is None else int(value))  # type: ignore[arg-type]
-            self.fs._pwrite(self.data_path, row * self.cell_size, cell)
+            self.fs._pwrite(self.data_path, cell_offset, cell)
             return
         if self.type_name == "REAL":
             cell = _REAL.pack(_NULL_REAL if value is None else float(value))  # type: ignore[arg-type]
-            self.fs._pwrite(self.data_path, row * self.cell_size, cell)
+            self.fs._pwrite(self.data_path, cell_offset, cell)
             return
         # TEXT mutation: append the new string to the heap and point the
         # (start, length) entry at it; the old bytes become garbage
         # until a rewrite, like a real columnar mutation.
         if value is None:
-            self.fs._pwrite(
-                self.data_path, row * self.cell_size, _OFFSET.pack(0, _NULL_LENGTH)
-            )
+            self.fs._pwrite(self.data_path, cell_offset, _OFFSET.pack(0, _NULL_LENGTH))
             return
         if not isinstance(value, str):
             raise ColumnStoreError(f"expected TEXT, got {value!r}")
         raw = value.encode("utf-8")
         heap_end = self.fs.stat(self.heap_path).size
         self.fs.append_file(self.heap_path, raw)
-        self.fs._pwrite(
-            self.data_path, row * self.cell_size, _OFFSET.pack(heap_end, len(raw))
+        self.fs._pwrite(self.data_path, cell_offset, _OFFSET.pack(heap_end, len(raw)))
+
+    def _rewrite_block(
+        self,
+        index: int,
+        segment: _Segment,
+        values: Sequence[object],
+        encoding: int,
+        flags: int,
+    ) -> None:
+        """Append a re-encoded payload and repoint the directory entry."""
+        payload = self._encode_payload(values, encoding)
+        block_offset = self.fs.stat(self.data_path).size
+        self.fs.append_file(self.data_path, payload)
+        self._patch_segment(
+            index,
+            _Segment(
+                segment.start, segment.count, block_offset, len(payload), encoding, flags
+            ),
         )
+
+    def morph_block(self, index: int, encoding: Optional[int] = None) -> int:
+        """Re-encode block ``index`` (picker choice unless forced).
+
+        Returns the block's encoding afterwards.  A no-op when the
+        block already has the target encoding and no demotion flag.
+        """
+        segment = self.segments()[index]
+        values = self.read_range(segment.start, segment.count)
+        if encoding is None:
+            encoding = self._choose_encoding(values)
+        if encoding == segment.encoding:
+            if segment.flags:
+                self._patch_segment(index, segment._replace(flags=0))
+            return encoding
+        self._rewrite_block(index, segment, values, encoding, 0)
+        return encoding
+
+    def morph(self, encoding: Optional[int] = None, demoted_only: bool = False) -> int:
+        """Re-encode blocks; returns how many changed format."""
+        changed = 0
+        for index, segment in enumerate(self.segments()):
+            if demoted_only and not segment.flags & _SEG_DEMOTED:
+                continue
+            if self.morph_block(index, encoding) != segment.encoding:
+                changed += 1
+        return changed
+
+    def encodings(self) -> list[int]:
+        """Per-block encoding ids, in row order."""
+        return [segment.encoding for segment in self.segments()]
 
 
 class ColumnTable:
@@ -276,23 +536,41 @@ class ColumnTable:
 
     Deletes are *lightweight* (ClickHouse-style): a sidecar mask marks
     rows dead and scans skip them; :meth:`optimize` rewrites the column
-    files without the dead rows and rebuilds the zone maps.
+    files without the dead rows and rebuilds the zone maps (re-running
+    the encoding picker — compaction doubles as a morph pass).
     """
 
     #: Insert batches fetched per vectored column read during a scan.
     SCAN_PREFETCH_BATCHES = 16
+    #: Rows per block: large insert batches split so a point UPDATE
+    #: never decodes (and a morph never re-encodes) more than this.
+    BLOCK_ROWS = 1024
+    #: Vectorized scans observed before demoted blocks are re-encoded.
+    MORPH_AFTER_SCANS = 3
 
-    def __init__(self, fs: FileSystem, base: str, name: str, columns: list[tuple[str, str]]) -> None:
+    def __init__(
+        self,
+        fs: FileSystem,
+        base: str,
+        name: str,
+        columns: list[tuple[str, str]],
+        encodings: bool = True,
+    ) -> None:
         self.fs = fs
         self.base = base
         self.name = name
         self.columns = columns
+        self.encodings = encodings
         self.column_names = [column for column, __ in columns]
         self._files = {
-            column: _ColumnFile(fs, base, column, type_name)
+            column: _ColumnFile(fs, base, column, type_name, encode=encodings)
             for column, type_name in columns
         }
         self._mask_path = f"{base}/_deleted.bm"
+        #: Vectorized scans since the last UPDATE, and the columns seen
+        #: carrying update-demoted blocks — the morph trigger state.
+        self._scans_since_update = 0
+        self._demoted_columns: set[str] = set()
         if not fs.exists(self._mask_path):
             fs.write_file(self._mask_path, b"")
 
@@ -343,21 +621,65 @@ class ColumnTable:
         for column, type_name in self.columns:
             old = self._files[column]
             self.fs.write_file(old.data_path, b"")
+            self.fs.write_file(old.seg_path, b"")
             if type_name == "TEXT":
                 self.fs.write_file(old.heap_path, b"")
             if old.numeric:
                 self.fs.write_file(old.zmap_path, b"")
-            self._files[column] = _ColumnFile(self.fs, self.base, column, type_name)
+            self._files[column] = _ColumnFile(
+                self.fs, self.base, column, type_name, encode=self.encodings
+            )
         self.fs.write_file(self._mask_path, b"")
+        self._demoted_columns.clear()
         if live_rows:
             self.insert_rows(live_rows)
         return removed
 
     def insert_rows(self, rows: Sequence[dict[str, object]]) -> None:
-        """Append a batch of rows column by column."""
-        for column in self.column_names:
-            self._files[column].append_values([row.get(column) for row in rows])
+        """Append a batch of rows column by column, one block (and one
+        zone-map entry) per :data:`BLOCK_ROWS` slice of the batch."""
+        for position in range(0, len(rows), self.BLOCK_ROWS):
+            chunk = rows[position : position + self.BLOCK_ROWS]
+            for column in self.column_names:
+                self._files[column].append_values([row.get(column) for row in chunk])
 
+    # -- morphing ----------------------------------------------------------
+    def morph(self, column: Optional[str] = None, encoding: Optional[int] = None) -> int:
+        """Re-encode blocks of one column (or all); returns blocks changed."""
+        names = [column] if column is not None else self.column_names
+        changed = 0
+        for name in names:
+            if name not in self._files:
+                raise ColumnStoreError(f"unknown column {name!r}")
+            changed += self._files[name].morph(encoding)
+        return changed
+
+    def note_update(self, columns: Sequence[str]) -> None:
+        """Record an UPDATE for the morph heuristic."""
+        self._scans_since_update = 0
+        for name in columns:
+            self._demoted_columns.add(name)
+
+    def maybe_morph(self) -> int:
+        """Re-encode update-demoted blocks once the mix is scan-heavy.
+
+        Called after each vectorized scan: when :data:`MORPH_AFTER_SCANS`
+        scans have run without an intervening UPDATE, every column that
+        was demoted re-runs the picker on its demoted blocks.  Returns
+        blocks re-encoded.
+        """
+        self._scans_since_update += 1
+        if not self._demoted_columns:
+            return 0
+        if self._scans_since_update < self.MORPH_AFTER_SCANS:
+            return 0
+        changed = 0
+        for name in sorted(self._demoted_columns):
+            changed += self._files[name].morph(demoted_only=True)
+        self._demoted_columns.clear()
+        return changed
+
+    # -- scans -------------------------------------------------------------
     def scan(
         self,
         columns: Optional[Sequence[str]] = None,
@@ -383,26 +705,36 @@ class ColumnTable:
         """Like :meth:`scan` but yields (physical row number, row)."""
         return self._scan_batches(columns, batch, None)
 
+    def _check_columns(self, columns: Optional[Sequence[str]]) -> list[str]:
+        names = list(columns) if columns is not None else self.column_names
+        for name in names:
+            if name not in self._files:
+                raise ColumnStoreError(f"unknown column {name!r}")
+        return names
+
+    def _scan_spans(
+        self,
+        names: Sequence[str],
+        ranges: Optional[dict[str, tuple[Optional[float], Optional[float]]]],
+    ) -> list[tuple[int, int]]:
+        """Surviving (start, count) block spans for a scan."""
+        pruned = self._prunable_batches(ranges)
+        if pruned is not None:
+            return [(start, count) for start, count in pruned if count > 0]
+        return [
+            (segment.start, segment.count)
+            for segment in self._files[names[0]].segments()
+        ]
+
     def _scan_batches(
         self,
         columns: Optional[Sequence[str]],
         batch: int,
         ranges: Optional[dict[str, tuple[Optional[float], Optional[float]]]],
     ) -> Iterator[tuple[int, dict[str, object]]]:
-        names = list(columns) if columns is not None else self.column_names
-        for name in names:
-            if name not in self._files:
-                raise ColumnStoreError(f"unknown column {name!r}")
+        names = self._check_columns(columns)
         mask = self._mask()
-        pruned = self._prunable_batches(ranges)
-        if pruned is not None:
-            batches = [(start, count) for start, count in pruned if count > 0]
-        else:
-            total = self.row_count()
-            batches = [
-                (position, min(batch, total - position))
-                for position in range(0, total, batch)
-            ]
+        batches = self._scan_spans(names, ranges)
         # Prefetch groups of surviving batches per column with one
         # vectored read each, instead of one positional read per
         # (batch, column) pair.  The group size bounds memory while a
@@ -419,6 +751,30 @@ class ColumnTable:
                     yield row_no, {
                         name: slices[name][position][i] for name in names
                     }
+
+    def scan_vector_blocks(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        ranges: Optional[dict[str, tuple[Optional[float], Optional[float]]]] = None,
+    ) -> Iterator[tuple[int, int, bytes, dict[str, ColumnVector]]]:
+        """Vectorized scan: yield (start, count, deletion-mask slice,
+        column vectors) per surviving block, keeping encoded forms.
+
+        This is the compressed-domain path: the vectors may still be
+        RLE runs or dictionary codes, and the caller (the vectorized
+        executor) evaluates predicates and aggregates on them directly.
+        """
+        names = self._check_columns(columns)
+        mask = self._mask()
+        batches = self._scan_spans(names, ranges)
+        group_size = self.SCAN_PREFETCH_BATCHES
+        for group_start in range(0, len(batches), group_size):
+            group = batches[group_start : group_start + group_size]
+            vectors = {name: self._files[name].read_vectors(group) for name in names}
+            for position, (start, count) in enumerate(group):
+                yield start, count, mask[start : start + count], {
+                    name: vectors[name][position] for name in names
+                }
 
     def _prunable_batches(
         self, ranges: Optional[dict[str, tuple[Optional[float], Optional[float]]]]
@@ -466,6 +822,11 @@ class ColumnTable:
             if column not in self._files:
                 raise ColumnStoreError(f"unknown column {column!r}")
             self._files[column].update_cell(row, value)
+        self.note_update(list(changes))
+
+    def column_encodings(self) -> dict[str, list[int]]:
+        """Per-column block encodings (observability / tests)."""
+        return {name: self._files[name].encodings() for name in self.column_names}
 
 
 class MiniColumn(Database):
@@ -473,9 +834,17 @@ class MiniColumn(Database):
 
     name = "minicolumn"
 
-    def __init__(self, fs: FileSystem, directory: str = "/columndb") -> None:
+    def __init__(
+        self,
+        fs: FileSystem,
+        directory: str = "/columndb",
+        encodings: bool = True,
+        vectorized: bool = True,
+    ) -> None:
         super().__init__(fs)
         self.directory = directory.rstrip("/")
+        self.encodings = encodings
+        self.vectorized = vectorized
         self._catalog_path = f"{self.directory}/catalog.json"
         self._tables: dict[str, ColumnTable] = {}
         if fs.exists(self._catalog_path):
@@ -486,6 +855,7 @@ class MiniColumn(Database):
                     f"{self.directory}/{entry['name']}",
                     entry["name"],
                     [tuple(column) for column in entry["columns"]],
+                    encodings=encodings,
                 )
 
     def _save_catalog(self) -> None:
@@ -516,6 +886,7 @@ class MiniColumn(Database):
                 f"{self.directory}/{statement.table}",
                 statement.table,
                 [(column.name, column.type_name) for column in statement.columns],
+                encodings=self.encodings,
             )
             self._save_catalog()
             return []
@@ -554,6 +925,15 @@ class MiniColumn(Database):
         metadata_answer = self._try_metadata_answer(statement, table)
         if metadata_answer is not None:
             return metadata_answer
+        if self.vectorized:
+            # Compressed-domain vectorized path; None means the query
+            # shape is unsupported and the row interpreter takes over.
+            from repro.databases.vector_executor import try_run_select_vectorized
+
+            vectorized = try_run_select_vectorized(statement, table)
+            if vectorized is not None:
+                table.maybe_morph()
+                return vectorized
         needed = self._referenced_columns(statement, table)
         ranges = _range_constraints(statement.where)
         rows = table.scan(columns=needed, ranges=ranges)
@@ -734,3 +1114,15 @@ def _columns_of(expr: Optional[Expr]) -> set[str]:
             return set()
         return _columns_of(expr.argument)
     return set()
+
+
+# Re-exported for callers that referenced the sentinels here (the
+# canonical definitions live in repro.databases.colcodec).
+__all__ = [
+    "ColumnStoreError",
+    "ColumnTable",
+    "MiniColumn",
+    "_NULL_INT",
+    "_NULL_REAL",
+    "_NULL_LENGTH",
+]

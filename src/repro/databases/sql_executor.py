@@ -217,6 +217,13 @@ def run_select(select: Select, rows: Iterable[Row]) -> list[dict[str, object]]:
         output = _run_grouped(select, filtered)
     else:
         output = _run_plain(select, filtered)
+    return apply_order_limit(select, output)
+
+
+def apply_order_limit(
+    select: Select, output: list[dict[str, object]]
+) -> list[dict[str, object]]:
+    """ORDER BY + LIMIT tail, shared by the row and vectorized paths."""
     if select.order_by:
         # Stable multi-key sort: apply keys right-to-left.
         for order in reversed(select.order_by):

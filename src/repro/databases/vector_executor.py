@@ -1,0 +1,268 @@
+"""Vectorized, encoding-aware SELECT execution over column blocks.
+
+This is MiniColumn's compressed-domain query path.  The storage layer
+(:meth:`repro.databases.minicolumn.ColumnTable.scan_vector_blocks`)
+yields one :class:`~repro.databases.colcodec.ColumnVector` per column
+per surviving block, *keeping encoded forms*: predicates evaluate an
+RLE run once per run and a dictionary predicate once per distinct
+string, producing a selection vector that is ANDed with the
+deletion-mask complement.  Selected rows then flow into the grouped
+aggregation kernel (or, for plain projections, into the shared row
+projector with the WHERE already applied).
+
+The entry point :func:`try_run_select_vectorized` returns ``None`` for
+query shapes it does not support — joins, WHERE clauses that are not
+AND-trees of ``column op literal``, aggregate arguments that are not a
+column or ``*`` — and the caller falls back to the row interpreter in
+:mod:`repro.databases.sql_executor`.  Both paths share the aggregate
+result semantics (``_Accumulator``), projection naming, ORDER BY, and
+LIMIT code, so their outputs are identical wherever both apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.databases.sql_executor import (
+    _Accumulator,
+    _collect_aggregates,
+    _evaluate_with_aggregates,
+    _expr_label,
+    _item_name,
+    apply_order_limit,
+    contains_aggregate,
+    run_select,
+)
+from repro.databases.sql_parser import (
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    Select,
+    Star,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.databases.colcodec import ColumnVector
+    from repro.databases.minicolumn import ColumnTable
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _conjuncts(where: Optional[Expr]) -> Optional[list[tuple[str, str, object]]]:
+    """Flatten an AND-tree of ``column op literal`` comparisons.
+
+    Returns ``None`` when any conjunct has another shape (OR, NOT,
+    arithmetic, column-vs-column) — those queries take the row path.
+    """
+    if where is None:
+        return []
+    if isinstance(where, BinaryOp) and where.op == "AND":
+        left = _conjuncts(where.left)
+        right = _conjuncts(where.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if (
+        isinstance(where, BinaryOp)
+        and where.op in _COMPARISON_OPS
+        and isinstance(where.left, Column)
+        and isinstance(where.right, Literal)
+    ):
+        return [(where.left.name, where.op, where.right.value)]
+    return None
+
+
+def _compare(op: str, bound: object) -> Callable[[object], bool]:
+    """One-argument predicate with the row interpreter's NULL semantics:
+    ``=``/``!=`` are plain equality, ordered comparisons with NULL on
+    either side are false."""
+    if op == "=":
+        return lambda value: value == bound
+    if op == "!=":
+        return lambda value: value != bound
+    if bound is None:
+        return lambda value: False
+    if op == "<":
+        return lambda value: value is not None and value < bound  # type: ignore[operator]
+    if op == "<=":
+        return lambda value: value is not None and value <= bound  # type: ignore[operator]
+    if op == ">":
+        return lambda value: value is not None and value > bound  # type: ignore[operator]
+    return lambda value: value is not None and value >= bound  # type: ignore[operator]
+
+
+def _block_selection(
+    mask: bytes,
+    vectors: dict[str, "ColumnVector"],
+    conjuncts: list[tuple[str, str, object]],
+) -> list[bool]:
+    """Selection vector for one block: live under the deletion mask AND
+    every predicate — evaluated on the encoded vectors directly."""
+    selected = [byte == 0 for byte in mask]
+    for name, op, bound in conjuncts:
+        if not any(selected):
+            break
+        bools = vectors[name].pred_bools(_compare(op, bound))
+        selected = [keep and hit for keep, hit in zip(selected, bools)]
+    return selected
+
+
+class _VectorAccumulator(_Accumulator):
+    """The shared accumulator, fed decoded values instead of rows."""
+
+    def add_value(self, value: object) -> None:
+        if isinstance(self.func.argument, Star):
+            self.count += 1
+            return
+        if value is None:
+            return  # SQL aggregates skip NULLs
+        self.count += 1
+        if isinstance(value, (int, float)):
+            self.total += value
+        if self.minimum is None or value < self.minimum:  # type: ignore[operator]
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:  # type: ignore[operator]
+            self.maximum = value
+
+
+def _referenced(select: Select) -> tuple[set[str], set[str], bool]:
+    """``(required, ordering, star)`` column references.
+
+    ``required`` columns (projection, WHERE, GROUP BY) must exist in the
+    table; ``ordering`` columns may instead be projection aliases (e.g.
+    ``ORDER BY avg_cnt``), which the shared ORDER BY code resolves
+    against the output rows."""
+    from repro.databases.minicolumn import _columns_of
+
+    required: set[str] = set()
+    star = False
+    for item in select.items:
+        if isinstance(item.expr, Star):
+            star = True
+        else:
+            required |= _columns_of(item.expr)
+    if select.where is not None:
+        required |= _columns_of(select.where)
+    for column in select.group_by:
+        required.add(column.name)
+    ordering: set[str] = set()
+    for order in select.order_by:
+        ordering |= _columns_of(order.expr)
+    return required, ordering, star
+
+
+def try_run_select_vectorized(
+    select: Select, table: "ColumnTable"
+) -> Optional[list[dict[str, object]]]:
+    """Run a SELECT through the vectorized path, or return ``None``
+    when its shape is unsupported (the caller falls back to rows)."""
+    from repro.databases.minicolumn import _range_constraints
+
+    if select.join is not None:
+        return None
+    conjuncts = _conjuncts(select.where)
+    if conjuncts is None:
+        return None
+    required, ordering, star = _referenced(select)
+    if not required.issubset(table.column_names):
+        return None  # unknown column: the row path raises the error
+    if star:
+        names = list(table.column_names)
+    else:
+        # Scan exactly what the row path would: ORDER BY references that
+        # are not table columns are projection aliases, resolved later.
+        referenced = required | ordering
+        names = [name for name in table.column_names if name in referenced]
+        if not names:
+            names = list(table.column_names[:1])
+
+    grouped = bool(select.group_by) or any(
+        contains_aggregate(item.expr) for item in select.items
+    )
+    ranges = _range_constraints(select.where)
+    blocks = table.scan_vector_blocks(names, ranges)
+    if not grouped:
+        rows: list[dict[str, object]] = []
+        for __, __, mask, vectors in blocks:
+            selected = _block_selection(mask, vectors, conjuncts)
+            if not any(selected):
+                continue
+            columns = {name: vectors[name].materialize() for name in names}
+            for i, keep in enumerate(selected):
+                if keep:
+                    rows.append({name: columns[name][i] for name in names})
+        # The WHERE is already applied; share projection / order / limit.
+        return run_select(replace(select, where=None), rows)
+
+    return _run_grouped_vectorized(select, names, blocks, conjuncts)
+
+
+def _run_grouped_vectorized(
+    select: Select,
+    names: list[str],
+    blocks,
+    conjuncts: list[tuple[str, str, object]],
+) -> Optional[list[dict[str, object]]]:
+    if any(isinstance(item.expr, Star) for item in select.items):
+        return None  # the row path raises "* is not valid..."
+    aggregates: dict[FuncCall, _Accumulator] = {}
+    for item in select.items:
+        _collect_aggregates(item.expr, aggregates)
+    for order in select.order_by:
+        _collect_aggregates(order.expr, aggregates)
+    argument_columns: dict[FuncCall, Optional[str]] = {}
+    for func in aggregates:
+        if isinstance(func.argument, Star):
+            if func.name != "count":
+                return None  # row path raises the aggregate error
+            argument_columns[func] = None
+        elif isinstance(func.argument, Column):
+            argument_columns[func] = func.argument.name
+        else:
+            return None  # e.g. sum(a + b): row path handles it
+
+    group_columns = [column.name for column in select.group_by]
+    groups: dict[tuple, tuple[dict[str, object], dict[FuncCall, _VectorAccumulator]]] = {}
+    for __, __, mask, vectors in blocks:
+        selected = _block_selection(mask, vectors, conjuncts)
+        if not any(selected):
+            continue
+        columns = {name: vectors[name].materialize() for name in names}
+        for i, keep in enumerate(selected):
+            if not keep:
+                continue
+            key = tuple(columns[name][i] for name in group_columns)
+            state = groups.get(key)
+            if state is None:
+                state = (
+                    {name: columns[name][i] for name in names},
+                    {func: _VectorAccumulator(func) for func in aggregates},
+                )
+                groups[key] = state
+            for func, accumulator in state[1].items():
+                column = argument_columns[func]
+                accumulator.add_value(None if column is None else columns[column][i])
+
+    if not groups and not group_columns:
+        # Aggregate over an empty input still yields one row.
+        groups[()] = ({}, {func: _VectorAccumulator(func) for func in aggregates})
+
+    output: list[dict[str, object]] = []
+    for key, (sample, accumulators) in groups.items():
+        results = {func: acc.result() for func, acc in accumulators.items()}
+        projected: dict[str, object] = {}
+        for index, item in enumerate(select.items):
+            projected[_item_name(item, index)] = _evaluate_with_aggregates(
+                item.expr, sample, results
+            )
+        for name, value in zip(group_columns, key):
+            projected.setdefault(name, value)
+        for order in select.order_by:
+            if contains_aggregate(order.expr):
+                value = _evaluate_with_aggregates(order.expr, sample, results)
+                projected.setdefault(_expr_label(order.expr), value)
+        output.append(projected)
+    return apply_order_limit(select, output)

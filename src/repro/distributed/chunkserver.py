@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.engine import CompressDB
+from repro.databases.colcodec import fold_int_cells
 from repro.fs.compressfs import CompressFS
 from repro.obs import Observability
 from repro.fs.posix_ops import PosixOperations
@@ -232,6 +233,24 @@ class ChunkServer:
         tail_start = max(0, length - edge)
         tail = self.fs._pread(path, tail_start, length - tail_start)
         return offsets, head, tail
+
+    def aggregate_cells(
+        self, chunk_id: str, offset: int, length: int
+    ) -> tuple[int, int, Optional[int], Optional[int]]:
+        """Fold the int64 cells in ``[offset, offset+length)`` locally.
+
+        The pushed-down aggregate primitive: the server reads the cell
+        bytes from its own device and returns only ``(count, sum, min,
+        max)`` — the cells never cross the network.  NULL sentinels are
+        skipped (SQL aggregate semantics); the range must be a whole
+        number of 8-byte cells, which the client guarantees by keeping
+        boundary-straddling cells to itself.
+        """
+        path = self._path(chunk_id)
+        with self.obs.tracer.span(
+            "chunkserver.aggregate", server=self.name, length=length
+        ):
+            return fold_int_cells(self.fs._pread(path, offset, length))
 
     def count(self, chunk_id: str, pattern: bytes) -> int:
         path = self._path(chunk_id)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.kmp import iter_matches
+from repro.databases.colcodec import fold_int_cells, merge_folds
 from repro.distributed.chunkserver import ChunkServer
 from repro.distributed.master import Master
 from repro.obs import Observability
@@ -24,6 +25,10 @@ from repro.storage.simclock import DATACENTER_LAN, NetworkProfile, SimClock
 _RPC_OVERHEAD = 64
 #: Bytes per offset in a search result.
 _OFFSET_BYTES = 8
+#: One int64 cell of a packed aggregate column.
+_CELL_BYTES = 8
+#: A (count, sum, min, max) fold result on the wire.
+_FOLD_BYTES = 32
 
 
 class NoLiveReplica(Exception):
@@ -466,6 +471,69 @@ class ClusterClient:
 
     def count(self, path: str, pattern: bytes) -> int:
         return len(self.search(path, pattern))
+
+    # -- aggregate pushdown --------------------------------------------------------
+    def aggregate(
+        self, path: str, offset: int = 0, length: Optional[int] = None
+    ) -> tuple[int, int, Optional[int], Optional[int]]:
+        """``(count, sum, min, max)`` over the int64 cells of a byte range.
+
+        The file region is a packed plain-INT column (see
+        :func:`repro.databases.colcodec.pack_int_cells`); NULL sentinel
+        cells are skipped, per SQL aggregate semantics.  With pushdown
+        each chunk server folds its whole cells locally and ships back a
+        32-byte partial result; the client itself reads only the few
+        cells that straddle a chunk boundary.  Baseline: the entire
+        range crosses the network and the client folds it.
+        """
+        if length is None:
+            length = self.master.file_size(path) - offset
+        with self.obs.tracer.span(
+            "client.aggregate", path=path, length=length, pushdown=self.pushdown
+        ):
+            return self._aggregate(path, offset, length)
+
+    def _aggregate(
+        self, path: str, offset: int, length: int
+    ) -> tuple[int, int, Optional[int], Optional[int]]:
+        entry = self.master.lookup(path)
+        length = min(length, entry.size - offset)
+        if length <= 0:
+            return 0, 0, None, None
+        if offset % _CELL_BYTES or length % _CELL_BYTES:
+            raise ValueError("aggregate range must cover whole int64 cells")
+        if not self.pushdown:
+            return fold_int_cells(self.read(path, offset, length))
+        folds: list[tuple[int, int, Optional[int], Optional[int]]] = []
+        straddle_cells: set[int] = set()
+        position = offset
+        for __, chunk, start, count in self.master.chunks_in_range(path, offset, length):
+            begin, end = position, position + count
+            position = end
+            # Whole cells inside this chunk fold on the server; a cell
+            # split across a chunk boundary is noted for a client read.
+            first = -(-begin // _CELL_BYTES) * _CELL_BYTES
+            last = (end // _CELL_BYTES) * _CELL_BYTES
+            if begin % _CELL_BYTES:
+                straddle_cells.add(begin // _CELL_BYTES)
+            if end % _CELL_BYTES:
+                straddle_cells.add(end // _CELL_BYTES)
+            if first >= last:
+                continue
+            server = self._read_server(chunk)
+            self._charge(_FOLD_BYTES)
+            folds.append(
+                server.aggregate_cells(
+                    chunk.chunk_id, start + (first - begin), last - first
+                )
+            )
+        if straddle_cells:
+            pieces = b"".join(
+                self.read(path, cell * _CELL_BYTES, _CELL_BYTES)
+                for cell in sorted(straddle_cells)
+            )
+            folds.append(fold_int_cells(pieces))
+        return merge_folds(folds)
 
     def extract(self, path: str, offset: int, size: int) -> bytes:
         return self.read(path, offset, size)

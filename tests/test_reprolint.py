@@ -560,6 +560,112 @@ class TestObsMutationRule:
 # Framework: suppressions, registry, module mapping, JSON
 # ---------------------------------------------------------------------------
 
+class TestEncodingRule:
+    PATH = "src/repro/distributed/encfixture.py"
+
+    def test_struct_unpack_of_col_payload_flagged(self):
+        findings = lint(
+            """
+            import struct
+
+            def peek_first_cell(fs):
+                payload = fs.read_file("/columndb/t/id.col")
+                return struct.unpack_from("<q", payload, 0)
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert len(active(findings)) == 1
+        assert "struct-unpacks" in active(findings)[0].message
+
+    def test_seg_directory_unpack_via_path_variable_flagged(self):
+        findings = lint(
+            """
+            def block_directory(fs, table, column):
+                path = "/columndb/" + table + "/" + column + ".seg"
+                raw = bytearray(fs.read_file(path))
+                return list(SEGMENT.iter_unpack(raw))
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_nested_read_unpack_flagged(self):
+        findings = lint(
+            """
+            def zone(fs, offset):
+                return ZONE.unpack_from(
+                    fs._pread("/columndb/t/id.zmap", offset, 33), 0
+                )
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert len(active(findings)) == 1
+
+    def test_private_colcodec_import_flagged(self):
+        findings = lint(
+            """
+            from repro.databases.colcodec import _INT_CELL
+
+            def raw_cells(payload):
+                return [cell for (cell,) in _INT_CELL.iter_unpack(payload)]
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert len(active(findings)) == 1
+        assert "_INT_CELL" in active(findings)[0].message
+
+    def test_public_codec_fold_passes(self):
+        # The cluster pushdown ships .col bytes through the *public*
+        # fold helpers — only direct struct decoding is a violation.
+        findings = lint(
+            """
+            from repro.databases.colcodec import fold_int_cells
+
+            def fold_column(fs, path):
+                return fold_int_cells(fs.read_file(path + ".col"))
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert active(findings) == []
+
+    def test_unpack_of_other_files_passes(self):
+        findings = lint(
+            """
+            import struct
+
+            def journal_header(fs):
+                raw = fs.read_file("/journal/head.wal")
+                return struct.unpack_from("<QQ", raw, 0)
+            """,
+            self.PATH,
+            rules=["ENC001"],
+        )
+        assert active(findings) == []
+
+    def test_databases_package_is_exempt(self):
+        findings = lint(
+            """
+            import struct
+
+            def segments(fs, path):
+                raw = fs.read_file(path + ".seg")
+                return list(struct.iter_unpack("<QQQQBB", raw))
+            """,
+            "src/repro/databases/colfixture.py",
+            rules=["ENC001"],
+        )
+        assert active(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# TXN001 — transaction scoping
+# ---------------------------------------------------------------------------
+
 class TestTransactionRule:
     PATH = "src/repro/core/txnfixture.py"
 
@@ -671,7 +777,8 @@ class TestTransactionRule:
 class TestFramework:
     def test_all_five_rules_registered(self):
         assert {
-            "RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "OBS001", "TXN001"
+            "RC001", "IO001", "LAYER001", "LOCK001", "MUT001", "OBS001",
+            "TXN001", "ENC001",
         } <= set(
             CHECKER_REGISTRY
         )
