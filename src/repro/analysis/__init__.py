@@ -25,11 +25,29 @@ from repro.analysis.framework import (
     Suppression,
     register,
 )
-from repro.analysis.runner import LintReport, collect_files, default_target, run_paths
+from repro.analysis.runner import (
+    LintReport,
+    build_program_for,
+    collect_files,
+    default_target,
+    run_paths,
+)
+from repro.analysis.sanitizer import (
+    LockContractError,
+    LockOrderSanitizer,
+    LockOrderViolation,
+    TrackedLock,
+    check_agreement,
+    current_sanitizer,
+    install_sanitizer,
+    tracked_lock,
+    uninstall_sanitizer,
+)
 
 # Imported for their registration side effect: each rule module adds its
 # checker to CHECKER_REGISTRY, so the registry is complete as soon as the
 # package is imported (``repro lint --list-rules`` relies on this).
+from repro.analysis import rules_concurrency  # noqa: E402,F401
 from repro.analysis import rules_encoding  # noqa: E402,F401
 from repro.analysis import rules_io  # noqa: E402,F401
 from repro.analysis import rules_layering  # noqa: E402,F401
@@ -47,10 +65,20 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintReport",
+    "LockContractError",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
     "Severity",
     "Suppression",
+    "TrackedLock",
+    "build_program_for",
+    "check_agreement",
     "collect_files",
+    "current_sanitizer",
     "default_target",
+    "install_sanitizer",
     "register",
     "run_paths",
+    "tracked_lock",
+    "uninstall_sanitizer",
 ]

@@ -81,20 +81,41 @@ class FileContext:
 
 class Checker:
     """Base class for one rule.  Subclasses set the class attributes and
-    implement :meth:`check`."""
+    implement :meth:`check`; rules with a whole-program pass also
+    implement :meth:`check_program` and set :attr:`interprocedural`."""
 
     rule_id: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: the rule gains extra findings in ``--interprocedural`` mode.
+    interprocedural: bool = False
+    #: the rule *only* works over the whole program (no per-file pass);
+    #: selecting it implies interprocedural analysis.
+    program_only: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Whole-program pass over a
+        :class:`~repro.analysis.callgraph.ProgramContext`; findings must
+        carry the path of the file they blame so suppressions apply."""
+        return iter(())
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         return Finding(
             rule_id=self.rule_id,
             path=ctx.path,
             line=getattr(node, "lineno", 1),
+            severity=self.severity,
+            message=message,
+        )
+
+    def program_finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=path,
+            line=line,
             severity=self.severity,
             message=message,
         )
@@ -138,10 +159,25 @@ class AnalysisError(Exception):
 
 
 class Analyzer:
-    """Runs a set of checkers over files and applies suppressions."""
+    """Runs a set of checkers over files and applies suppressions.
 
-    def __init__(self, rules: Optional[Iterable[str]] = None) -> None:
+    With ``interprocedural=True`` (or when a ``program_only`` rule like
+    CONC001/CONC002 is selected) the analyzed files are additionally
+    indexed into one whole-program call graph
+    (:mod:`repro.analysis.callgraph`) and every checker's
+    :meth:`Checker.check_program` pass runs over it.  Suppressions apply
+    to program findings exactly as to per-file findings — by the blamed
+    file and line.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[str]] = None,
+        interprocedural: bool = False,
+    ) -> None:
         # Import for side effect: the rule modules register themselves.
+        from repro.analysis import rules_concurrency  # noqa: F401
+        from repro.analysis import rules_encoding  # noqa: F401
         from repro.analysis import rules_io  # noqa: F401
         from repro.analysis import rules_layering  # noqa: F401
         from repro.analysis import rules_locks  # noqa: F401
@@ -161,14 +197,18 @@ class Analyzer:
             for rule_id, checker_cls in CHECKER_REGISTRY.items()
             if selected is None or rule_id in selected
         ]
+        # Explicitly asking for a program-only rule implies the mode.
+        self.interprocedural = interprocedural or any(
+            checker.program_only for checker in self.checkers if selected is not None
+        )
 
-    def run_source(self, source: str, path: str) -> list[Finding]:
-        """Analyze one file's source text."""
+    def build_context(self, source: str, path: str) -> FileContext:
+        """Parse one file into the context the checkers consume."""
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             raise AnalysisError(f"{path}: {exc}") from exc
-        ctx = FileContext(
+        return FileContext(
             path=path,
             module=module_name_for(path),
             tree=tree,
@@ -176,11 +216,35 @@ class Analyzer:
             symbols=SymbolTable.build(tree),
             suppressions=parse_suppressions(source.splitlines()),
         )
+
+    def run_source(self, source: str, path: str) -> list[Finding]:
+        """Analyze one file's source text."""
+        return self.run_sources([(path, source)])
+
+    def run_sources(self, items: Iterable[tuple[str, str]]) -> list[Finding]:
+        """Analyze ``(path, source)`` pairs as one program."""
+        return self.run_contexts(
+            [self.build_context(source, path) for path, source in items]
+        )
+
+    def run_contexts(self, contexts: list[FileContext]) -> list[Finding]:
         findings: list[Finding] = []
-        for checker in self.checkers:
-            for finding in checker.check(ctx):
-                findings.append(self._apply_suppression(ctx, finding))
-        findings.extend(self._suppression_hygiene(ctx))
+        for ctx in contexts:
+            for checker in self.checkers:
+                for finding in checker.check(ctx):
+                    findings.append(self._apply_suppression(ctx, finding))
+            findings.extend(self._suppression_hygiene(ctx))
+        if self.interprocedural:
+            from repro.analysis.callgraph import build_program
+
+            program = build_program(contexts)
+            by_path = {ctx.path: ctx for ctx in contexts}
+            for checker in self.checkers:
+                for finding in checker.check_program(program):
+                    ctx = by_path.get(finding.path)
+                    findings.append(
+                        self._apply_suppression(ctx, finding) if ctx else finding
+                    )
         return sorted(findings, key=lambda f: f.sort_key)
 
     def run_file(self, path: str) -> list[Finding]:

@@ -122,6 +122,9 @@ class _BlockBytesTaint:
 @register
 class EncodingBoundaryChecker(Checker):
     rule_id = "ENC001"
+    #: Purely lexical rule: one file is the whole story, so the
+    #: interprocedural pass adds nothing.
+    interprocedural = False
     severity = Severity.ERROR
     description = (
         "column block formats (.col/.seg/.zmap payloads) are decoded "

@@ -49,6 +49,9 @@ def _is_compressor_call(call: ast.Call) -> bool:
 @register
 class UnbatchedIOChecker(Checker):
     rule_id = "IO001"
+    #: Purely lexical rule: one file is the whole story, so the
+    #: interprocedural pass adds nothing.
+    interprocedural = False
     severity = Severity.WARNING
     description = (
         "per-block read_block/write_block/store/commit inside a loop; "

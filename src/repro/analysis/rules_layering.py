@@ -129,6 +129,9 @@ def _package_rank(module: str) -> Optional[int]:
 @register
 class LayeringChecker(Checker):
     rule_id = "LAYER001"
+    #: Purely lexical rule: one file is the whole story, so the
+    #: interprocedural pass adds nothing.
+    interprocedural = False
     severity = Severity.ERROR
     description = (
         "layer cake: no imports from higher layers; databases/workloads "

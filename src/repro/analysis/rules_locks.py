@@ -58,6 +58,56 @@ class LockOrderChecker(Checker):
         "nested lock acquisitions in repro.distributed must follow the "
         "declared master -> chunkserver -> client order"
     )
+    interprocedural = True
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Cross-call-edge pass: a lock held lexically at a call site is
+        ordered against everything the callee may acquire downstream
+        (bounded transitive summary), which the per-file pass cannot
+        see.  Findings carry the witness call chain."""
+        summaries = program.summaries
+        seen: set[tuple[str, int, str, str]] = set()
+        for qualname in sorted(program.functions):
+            info = program.functions[qualname]
+            if not info.module.startswith("repro."):
+                continue
+            for edge, call in program.calls_from.get(qualname, ()):
+                held = summaries.held_locks_at(info, call)
+                if not held:
+                    continue
+                transitive = summaries.transitive_locks(edge.callee)
+                for inner_canonical in sorted(transitive):
+                    chain = transitive[inner_canonical]
+                    via = " -> ".join((qualname,) + chain)
+                    for outer in held:
+                        key = (edge.path, edge.line, outer.canonical, inner_canonical)
+                        if key in seen:
+                            continue
+                        if inner_canonical == outer.canonical:
+                            seen.add(key)
+                            yield self.program_finding(
+                                edge.path,
+                                edge.line,
+                                f"re-acquisition of {outer.canonical!r} "
+                                f"through call chain {via} — self-deadlock "
+                                "for a non-reentrant Lock",
+                            )
+                            continue
+                        inner_rank = _rank(inner_canonical)
+                        if inner_rank is None or outer.rank is None:
+                            continue
+                        if inner_rank <= outer.rank:
+                            seen.add(key)
+                            yield self.program_finding(
+                                edge.path,
+                                edge.line,
+                                f"lock order inversion across calls: "
+                                f"{inner_canonical!r} (rank {inner_rank}) "
+                                f"acquired via {via} while holding "
+                                f"{outer.canonical!r} (rank {outer.rank}); "
+                                "declared order is master -> chunkserver -> "
+                                "client",
+                            )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.module.startswith("repro.distributed"):

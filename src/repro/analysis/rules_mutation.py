@@ -50,6 +50,9 @@ def _subscript_root(node: ast.AST) -> ast.AST:
 @register
 class RawMutationChecker(Checker):
     rule_id = "MUT001"
+    #: Purely lexical rule: one file is the whole story, so the
+    #: interprocedural pass adds nothing.
+    interprocedural = False
     severity = Severity.ERROR
     description = (
         "in-place mutation of raw block bytes; shared leaf blocks may "

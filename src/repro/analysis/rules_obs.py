@@ -51,6 +51,9 @@ def _is_stats_attribute(target: ast.AST) -> bool:
 @register
 class ObsMutationChecker(Checker):
     rule_id = "OBS001"
+    #: Purely lexical rule: one file is the whole story, so the
+    #: interprocedural pass adds nothing.
+    interprocedural = False
     severity = Severity.ERROR
     description = (
         "direct mutation of a metric outside repro.obs; counters change "

@@ -79,6 +79,51 @@ class RefcountPairingChecker(Checker):
         "every incref must reach a decref or an ownership transfer on "
         "all paths, including exception edges"
     )
+    interprocedural = True
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Cross-call-edge pass: a callee with a *counted return*
+        (incref-then-return — the per-file pass rightly accepts it as an
+        ownership transfer) hands its caller an open obligation.  The
+        caller must not drop the result, and from the assignment onward
+        the same straight-line discipline applies as if the caller had
+        incref'd the name itself."""
+        import ast as _ast
+
+        summaries = program.summaries
+        for qualname in sorted(program.functions):
+            info = program.functions[qualname]
+            if not info.module.startswith(_SCOPES):
+                continue
+            for edge, call in program.calls_from.get(qualname, ()):
+                if not summaries.counted_return(edge.callee):
+                    continue
+                stmt = info.ctx.symbols.enclosing_statement(call)
+                if stmt is None:
+                    continue
+                if isinstance(stmt, _ast.Expr) and stmt.value is call:
+                    yield self.program_finding(
+                        edge.path,
+                        edge.line,
+                        f"{qualname}: discards the counted return of "
+                        f"{edge.callee}() — the incref it took is leaked; "
+                        "bind the result and decref or transfer it",
+                    )
+                    continue
+                if (
+                    isinstance(stmt, _ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], _ast.Name)
+                    and stmt.value is call
+                ):
+                    short = qualname.split(".", 2)[-1]
+                    yield from self._check_straight_line(
+                        info.ctx,
+                        info.node,
+                        f"{short} (counted return of {edge.callee})",
+                        stmt,
+                        stmt.targets[0].id,
+                    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.module.startswith(_SCOPES):

@@ -110,6 +110,46 @@ class TransactionScopeChecker(Checker):
         "the mutator @transactional, guard it with require_transaction, "
         "or wrap the call in a transaction scope"
     )
+    interprocedural = True
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Cross-call-edge pass: calling a function that *declares* its
+        transactional obligation (``require_transaction(...)`` in its
+        body) from a caller that neither establishes a scope
+        (``@transactional``), declares the obligation itself (passing it
+        up), nor sits inside a transaction ``with`` is the interprocedural
+        version of the mutation the per-file pass flags.  The per-file
+        pass accepts the declaring helper — the runtime guard moves the
+        obligation to the caller — so only this pass can see the broken
+        edge."""
+        summaries = program.summaries
+        for qualname in sorted(program.functions):
+            info = program.functions[qualname]
+            if not info.module.startswith("repro."):
+                continue
+            if info.module.startswith(_EXEMPT_MODULES):
+                continue
+            caller_summary = summaries.summaries[qualname]
+            if caller_summary.establishes_txn or caller_summary.declares_require_txn:
+                continue
+            for edge, call in program.calls_from.get(qualname, ()):
+                callee_summary = summaries.summaries.get(edge.callee)
+                if callee_summary is None or not callee_summary.declares_require_txn:
+                    continue
+                if not edge.callee.startswith("repro."):
+                    continue
+                if _inside_transaction_with(info.ctx, call):
+                    continue
+                yield self.program_finding(
+                    edge.path,
+                    edge.line,
+                    f"{qualname}: calls {edge.callee}() which requires an "
+                    "active transaction (require_transaction in its body), "
+                    "but no scope is established on this path — decorate "
+                    f"{qualname.rsplit('.', 1)[-1]} @transactional, wrap "
+                    "the call in a transaction scope, or declare the "
+                    "obligation with require_transaction",
+                )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.module.startswith("repro."):

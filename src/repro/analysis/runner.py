@@ -125,11 +125,35 @@ class LintReport:
         return dict(sorted(counts.items()))
 
 
+def build_program_for(targets: Sequence[str]):
+    """Index ``targets`` into a
+    :class:`~repro.analysis.callgraph.ProgramContext` (parse errors are
+    skipped — the lint pass reports them)."""
+    from repro.analysis.callgraph import build_program
+
+    resolved = list(targets) if targets else [default_target()]
+    analyzer = Analyzer(rules=())
+    contexts = []
+    for path in collect_files(resolved):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                contexts.append(analyzer.build_context(handle.read(), path))
+        except AnalysisError:
+            continue
+    return build_program(contexts)
+
+
 def run_paths(
     targets: Sequence[str],
     rules: Optional[Iterable[str]] = None,
+    interprocedural: bool = False,
 ) -> LintReport:
-    """Lint ``targets`` (defaulting to the installed repro tree)."""
+    """Lint ``targets`` (defaulting to the installed repro tree).
+
+    ``interprocedural=True`` additionally indexes every scanned file
+    into one call graph and runs the whole-program rule passes
+    (cross-call LOCK001/TXN001/RC001 plus CONC001/CONC002).
+    """
     resolved = list(targets) if targets else [default_target()]
     report = LintReport()
     try:
@@ -137,13 +161,16 @@ def run_paths(
     except FileNotFoundError as exc:
         report.errors.append(f"no such file or directory: {exc}")
         return report
-    analyzer = Analyzer(rules=rules)
+    analyzer = Analyzer(rules=rules, interprocedural=interprocedural)
+    contexts = []
     for path in files:
         try:
-            report.findings.extend(analyzer.run_file(path))
+            with open(path, "r", encoding="utf-8") as handle:
+                contexts.append(analyzer.build_context(handle.read(), path))
         except AnalysisError as exc:
             report.errors.append(str(exc))
             continue
         report.files_scanned += 1
+    report.findings.extend(analyzer.run_contexts(contexts))
     report.findings.sort(key=lambda f: f.sort_key)
     return report

@@ -1,0 +1,359 @@
+"""Bounded-depth function summaries over the call graph.
+
+Each function gets one :class:`FunctionSummary` describing the facts the
+interprocedural rules compose:
+
+* **locks** — every ``with <lock>:`` acquisition, under a *canonical*
+  lock identity (``repro.distributed.master.Master.lock``) derived by
+  typing the receiver chain, plus its tier rank from the declared
+  master → chunkserver → client order;
+* **transactions** — whether the function establishes a scope
+  (``@transactional``) or declares the obligation with a
+  ``require_transaction(...)`` guard;
+* **refcounts** — whether the function returns a value it incref'd
+  (a *counted return*: the caller inherits the discharge obligation).
+
+:class:`SummaryIndex` memoizes the transitive closures the rules need —
+``transitive_locks`` (what a call may acquire downstream, with the
+witness call chain) and the global lock-order graph — all bounded by
+:data:`MAX_SUMMARY_DEPTH` so recursion and deep towers degrade to
+"unknown" instead of diverging.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.analysis.symbols import call_tail, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import FunctionInfo, ProgramContext
+
+#: Call-chain depth beyond which summaries stop composing.
+MAX_SUMMARY_DEPTH = 8
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_WITH_NODES = (ast.With, ast.AsyncWith)
+
+
+def lock_rank(canonical: str) -> Optional[int]:
+    """Tier of a canonical lock name under the declared cluster order."""
+    from repro.analysis.rules_locks import LOCK_TIERS
+
+    lowered = canonical.lower()
+    for keyword, rank in LOCK_TIERS:
+        if keyword in lowered:
+            return rank
+    return None
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lexical lock acquisition."""
+
+    canonical: str
+    rank: Optional[int]
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Observed (statically) ``outer`` held while ``inner`` is acquired."""
+
+    outer: str
+    inner: str
+    path: str
+    line: int
+    #: function qualnames witnessing the edge, outermost caller first.
+    chain: tuple[str, ...]
+
+
+@dataclass
+class FunctionSummary:
+    qualname: str
+    #: direct ``with`` acquisitions in this function's own body.
+    locks: list[LockSite] = field(default_factory=list)
+    #: decorated ``@transactional`` (joins/establishes the ambient scope).
+    establishes_txn: bool = False
+    #: calls ``require_transaction(...)`` — obligation passed to callers.
+    declares_require_txn: bool = False
+    #: returns a value the function itself incref'd.
+    counted_return: bool = False
+
+
+class SummaryIndex:
+    """Per-function summaries plus their memoized transitive closures."""
+
+    def __init__(self, program: "ProgramContext") -> None:
+        self.program = program
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._transitive: dict[str, dict[str, tuple[str, ...]]] = {}
+        self._counted: dict[str, bool] = {}
+        for info in program.functions.values():
+            self.summaries[info.qualname] = self._summarize(info)
+
+    # -- direct facts -------------------------------------------------------
+    def _summarize(self, info: "FunctionInfo") -> FunctionSummary:
+        summary = FunctionSummary(qualname=info.qualname)
+        summary.establishes_txn = _has_transactional_decorator(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                if info.ctx.symbols.enclosing_function(node) is not info.node:
+                    continue
+                if call_tail(node) == "require_transaction":
+                    summary.declares_require_txn = True
+            elif isinstance(node, _WITH_NODES):
+                if info.ctx.symbols.enclosing_function(node) is not info.node:
+                    continue
+                for item in node.items:
+                    canonical = self.canonical_lock(info, item.context_expr)
+                    if canonical is not None:
+                        summary.locks.append(
+                            LockSite(
+                                canonical=canonical,
+                                rank=lock_rank(canonical),
+                                path=info.ctx.path,
+                                line=item.context_expr.lineno,
+                            )
+                        )
+        summary.counted_return = self._direct_counted_return(info)
+        return summary
+
+    def canonical_lock(self, info: "FunctionInfo", expr: ast.expr) -> Optional[str]:
+        """Canonical identity of a lock-like ``with`` item, or None.
+
+        ``self.master.lock`` canonicalizes through the typed receiver to
+        ``repro.distributed.master.Master.lock`` so the same lock object
+        gets one name no matter which module acquires it.  Untypeable
+        receivers fall back to a module-local spelling, which still
+        dedupes acquisitions within one file.
+        """
+        source = ast.unparse(expr)
+        if "lock" not in source.lower():
+            return None
+        if isinstance(expr, ast.Attribute):
+            env = self.program.local_env(info)
+            direct, __ = self.program.expr_types(info, env, expr.value)
+            if direct:
+                return f"{sorted(direct)[0]}.{expr.attr}"
+        return f"{info.module}:{source}"
+
+    def _direct_counted_return(self, info: "FunctionInfo") -> bool:
+        counted: set[str] = set()
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and call_tail(node) == "incref"
+                and len(node.args) == 1
+                and info.ctx.symbols.enclosing_function(node) is info.node
+            ):
+                counted.add(ast.unparse(node.args[0]))
+        if not counted:
+            return False
+        from repro.analysis import dataflow
+
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and info.ctx.symbols.enclosing_function(node) is info.node
+            ):
+                if any(dataflow.mentions(node.value, src) for src in counted):
+                    return True
+        return False
+
+    # -- transitive closures ------------------------------------------------
+    def transitive_locks(
+        self, qualname: str, depth: int = 0
+    ) -> dict[str, tuple[str, ...]]:
+        """canonical lock -> witness call chain (ending at the acquirer).
+
+        The chain starts at ``qualname`` itself; direct acquisitions get
+        the one-element chain.  Recursion and towers deeper than
+        :data:`MAX_SUMMARY_DEPTH` contribute nothing (bounded summary).
+        """
+        if depth > MAX_SUMMARY_DEPTH:
+            return {}
+        cached = self._transitive.get(qualname)
+        if cached is not None:
+            return cached
+        self._transitive[qualname] = {}  # in-progress: recursion sees nothing
+        acquired: dict[str, tuple[str, ...]] = {}
+        summary = self.summaries.get(qualname)
+        if summary is not None:
+            for site in summary.locks:
+                acquired.setdefault(site.canonical, (qualname,))
+        for edge, __ in self.program.calls_from.get(qualname, ()):
+            for canonical, chain in self.transitive_locks(
+                edge.callee, depth + 1
+            ).items():
+                acquired.setdefault(canonical, (qualname,) + chain)
+        self._transitive[qualname] = acquired
+        return acquired
+
+    def counted_return(self, qualname: str, depth: int = 0) -> bool:
+        """Whether calling ``qualname`` hands back a counted reference.
+
+        Direct (incref-then-return) or forwarded: ``return self._grab(x)``
+        where ``_grab`` is itself a counted return.
+        """
+        if depth > MAX_SUMMARY_DEPTH:
+            return False
+        cached = self._counted.get(qualname)
+        if cached is not None:
+            return cached
+        self._counted[qualname] = False  # in-progress guard
+        summary = self.summaries.get(qualname)
+        result = bool(summary and summary.counted_return)
+        info = self.program.functions.get(qualname)
+        if not result and info is not None:
+            for node in ast.walk(info.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Call)
+                    and info.ctx.symbols.enclosing_function(node) is info.node
+                ):
+                    for callee in self.program.resolve_call(info, node.value):
+                        if self.counted_return(callee, depth + 1):
+                            result = True
+                            break
+                if result:
+                    break
+        self._counted[qualname] = result
+        return result
+
+    def held_locks_at(
+        self, info: "FunctionInfo", node: ast.AST
+    ) -> list[LockSite]:
+        """Locks lexically held at ``node``, outermost first."""
+        held: list[LockSite] = []
+        for ancestor in info.ctx.symbols.ancestors(node):
+            if ancestor is info.node:
+                break
+            if isinstance(ancestor, _WITH_NODES):
+                sites: list[LockSite] = []
+                for item in ancestor.items:
+                    canonical = self.canonical_lock(info, item.context_expr)
+                    if canonical is not None:
+                        sites.append(
+                            LockSite(
+                                canonical=canonical,
+                                rank=lock_rank(canonical),
+                                path=info.ctx.path,
+                                line=item.context_expr.lineno,
+                            )
+                        )
+                held = sites + held
+        return held
+
+    def lock_order_edges(self) -> list[LockEdge]:
+        """The whole-program lock acquisition-order graph.
+
+        For every ``with L:`` in every function, anything acquired under
+        it adds an edge ``L -> M``: lexically nested ``with M:`` blocks,
+        and the transitive acquisitions of every call made while ``L``
+        is held.  Each (outer, inner) pair keeps its first witness.
+        """
+        edges: dict[tuple[str, str], LockEdge] = {}
+
+        def add(outer: str, inner: str, path: str, line: int, chain: tuple[str, ...]) -> None:
+            if outer == inner:
+                return
+            edges.setdefault(
+                (outer, inner),
+                LockEdge(outer=outer, inner=inner, path=path, line=line, chain=chain),
+            )
+
+        for info in self.program.functions.values():
+            for node in ast.walk(info.node):
+                if not isinstance(node, _WITH_NODES):
+                    continue
+                if info.ctx.symbols.enclosing_function(node) is not info.node:
+                    continue
+                outer_sites = [
+                    canonical
+                    for item in node.items
+                    if (canonical := self.canonical_lock(info, item.context_expr))
+                    is not None
+                ]
+                if not outer_sites:
+                    continue
+                for body_stmt in node.body:
+                    for child in ast.walk(body_stmt):
+                        if info.ctx.symbols.enclosing_function(child) is not info.node:
+                            continue
+                        if isinstance(child, _WITH_NODES):
+                            for item in child.items:
+                                inner = self.canonical_lock(info, item.context_expr)
+                                if inner is None:
+                                    continue
+                                for outer in outer_sites:
+                                    add(
+                                        outer,
+                                        inner,
+                                        info.ctx.path,
+                                        item.context_expr.lineno,
+                                        (info.qualname,),
+                                    )
+                        elif isinstance(child, ast.Call):
+                            for callee in self.program.resolve_call(info, child):
+                                for inner, chain in self.transitive_locks(
+                                    callee
+                                ).items():
+                                    for outer in outer_sites:
+                                        add(
+                                            outer,
+                                            inner,
+                                            info.ctx.path,
+                                            child.lineno,
+                                            (info.qualname,) + chain,
+                                        )
+        return sorted(edges.values(), key=lambda e: (e.outer, e.inner))
+
+
+def _has_transactional_decorator(func: ast.AST) -> bool:
+    if not isinstance(func, _FUNCTION_NODES):
+        return False
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted and dotted.rsplit(".", 1)[-1] == "transactional":
+            return True
+    return False
+
+
+def find_lock_cycles(edges: list[LockEdge]) -> list[tuple[tuple[str, ...], list[LockEdge]]]:
+    """Elementary cycles in the lock-order graph.
+
+    Returns ``(cycle-node-tuple, edges-forming-it)`` pairs, each cycle
+    reported once (rotated so its lexicographically smallest lock leads).
+    """
+    adjacency: dict[str, list[LockEdge]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.outer, []).append(edge)
+    by_pair = {(edge.outer, edge.inner): edge for edge in edges}
+    cycles: dict[tuple[str, ...], list[LockEdge]] = {}
+
+    def rotate(nodes: tuple[str, ...]) -> tuple[str, ...]:
+        pivot = nodes.index(min(nodes))
+        return nodes[pivot:] + nodes[:pivot]
+
+    def dfs(start: str, current: str, path: list[str]) -> None:
+        for edge in adjacency.get(current, ()):
+            nxt = edge.inner
+            if nxt == start:
+                key = rotate(tuple(path))
+                if key not in cycles:
+                    ring = list(path) + [start]
+                    cycles[key] = [
+                        by_pair[(ring[i], ring[i + 1])] for i in range(len(path))
+                    ]
+            elif nxt not in path and len(path) <= MAX_SUMMARY_DEPTH:
+                dfs(start, nxt, path + [nxt])
+
+    for node in sorted(adjacency):
+        dfs(node, node, [node])
+    return sorted(cycles.items(), key=lambda item: item[0])

@@ -324,8 +324,15 @@ def cmd_lint(args) -> int:
                   f"{checker_cls.description}")
         print("SUP001  [error]  suppression without a written justification")
         return 0
+    if args.callgraph_dot:
+        return _lint_callgraph_dot(args)
+    if args.sanitize:
+        return _lint_sanitize(args)
     try:
-        report = runner.run_paths(args.paths, rules=args.rule or None)
+        report = runner.run_paths(
+            args.paths, rules=args.rule or None,
+            interprocedural=args.interprocedural,
+        )
     except ValueError as exc:
         raise CLIError(str(exc)) from exc
     if args.json:
@@ -335,6 +342,70 @@ def cmd_lint(args) -> int:
     else:
         print(report.render_text(show_suppressed=args.show_suppressed))
     return report.exit_code
+
+
+def _lint_callgraph_dot(args) -> int:
+    """``repro lint --callgraph-dot PATH``: dump call + lock-order graphs."""
+    from repro.analysis import build_program_for
+    from repro.analysis.callgraph import program_dot
+
+    program = build_program_for(args.paths)
+    text = program_dot(program)
+    if args.callgraph_dot == "-":
+        print(text, end="")
+    else:
+        with open(args.callgraph_dot, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.callgraph_dot}")
+    return 0
+
+
+def _lint_sanitize(args) -> int:
+    """``repro lint --sanitize``: run the interleaving smoke test under the
+    runtime sanitizer and cross-check observed lock order against the
+    static lock-order graph."""
+    from repro.analysis import (
+        LockOrderSanitizer,
+        build_program_for,
+        check_agreement,
+        install_sanitizer,
+        uninstall_sanitizer,
+    )
+    from repro.distributed import run_interleaved_sessions
+    from repro.distributed.cluster import build_cluster
+
+    program = build_program_for(args.paths)
+    static_edges = {
+        (edge.outer, edge.inner)
+        for edge in program.summaries.lock_order_edges()
+    }
+    sanitizer = LockOrderSanitizer(
+        static_edges=static_edges, raise_on_violation=False
+    )
+    install_sanitizer(sanitizer)
+    try:
+        run_interleaved_sessions(
+            sessions=3,
+            rounds=2,
+            sanitizer=sanitizer,
+            cluster=build_cluster(nodes=3, durable=True),
+        )
+    finally:
+        uninstall_sanitizer()
+    observed = sanitizer.observed_edges()
+    problems = list(sanitizer.violations)
+    problems += check_agreement(static_edges, observed)
+    print(f"static lock-order edges:   {len(static_edges)}")
+    print(f"observed lock-order edges: {len(observed)}")
+    for outer, inner in sorted(observed):
+        print(f"  {outer} -> {inner}")
+    if problems:
+        print(f"{len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("sanitizer: static and observed lock order agree")
+    return 0
 
 
 def cmd_snap(args) -> int:
@@ -559,6 +630,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="also run the whole-program passes (call graph + summaries)",
+    )
+    p.add_argument(
+        "--callgraph-dot",
+        metavar="PATH",
+        help="write the call graph and lock-order graph as Graphviz DOT "
+        "(use - for stdout) and exit",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the multi-session interleaving smoke test under the "
+        "runtime lock-order sanitizer and cross-check against the "
+        "static lock-order graph",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -99,6 +99,7 @@ class Compressor:
         Returns a slot referencing either an existing block (refcount
         incremented) or a freshly allocated one.
         """
+        require_transaction(self.device)
         return self.store_many([(content, used)])[0]
 
     def store_many(self, pieces: Sequence[tuple[bytes, int]]) -> list[Slot]:
@@ -156,6 +157,7 @@ class Compressor:
         ``tmp``; the slot is the pointer ``ptr``; the block it currently
         references is ``curr``.
         """
+        require_transaction(self.device)
         self.commit_many(inode, [(slot_index, content, used)])
 
     def commit_many(

@@ -235,6 +235,7 @@ class CompressDB:
             raise FileNotFoundInEngine(path) from None
 
     # -- write coalescing -----------------------------------------------------
+    @transactional
     def _flush_pending(self, path: Optional[str] = None) -> None:
         """Commit the coalescing buffer of ``path`` (or of every file).
 

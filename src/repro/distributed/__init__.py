@@ -3,6 +3,7 @@
 from repro.distributed.chunkserver import ChunkServer, ServerDown
 from repro.distributed.client import ClusterClient, NoLiveReplica
 from repro.distributed.cluster import Cluster, build_cluster
+from repro.distributed.interleave import run_interleaved_sessions
 from repro.distributed.master import (
     ChunkInfo,
     ClusterFileExists,
@@ -23,4 +24,5 @@ __all__ = [
     "NoLiveReplica",
     "ServerDown",
     "build_cluster",
+    "run_interleaved_sessions",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.analysis.sanitizer import tracked_lock
 from repro.core.engine import CompressDB
 from repro.databases.colcodec import fold_int_cells
 from repro.fs.compressfs import CompressFS
@@ -69,15 +70,21 @@ class ChunkServer:
         else:
             self.fs = PassthroughFS(device=device)
         self._posix_ops = PosixOperations(self.fs)
+        #: Rank-1 lock of the cluster order; serializes chunk-mutating
+        #: RPCs and node state flips on this server.  Reads stay
+        #: lock-free (they will become MVCC snapshot reads).
+        self._lock = tracked_lock(f"chunkserver.{name}.lock", rank=1)
         self.online = True
 
     def fail(self) -> None:
         """Simulate a node failure: every request raises ServerDown."""
-        self.online = False
+        with self._lock:
+            self.online = False
 
     def recover(self) -> None:
         """Bring the node back (its data survived the outage)."""
-        self.online = True
+        with self._lock:
+            self.online = True
 
     def restart(self) -> None:
         """Cold restart of a *durable* server: remount from the device.
@@ -89,10 +96,11 @@ class ChunkServer:
         """
         if not self.durable:
             raise ValueError(f"chunkserver {self.name} is not durable")
-        engine = CompressDB.mount(self._raw_device)
-        self.fs = CompressFS(engine=engine)
-        self._posix_ops = PosixOperations(self.fs)
-        self.online = True
+        with self._lock:
+            engine = CompressDB.mount(self._raw_device)
+            self.fs = CompressFS(engine=engine)
+            self._posix_ops = PosixOperations(self.fs)
+            self.online = True
 
     def _commit(self) -> None:
         """Group-commit hook: durable servers sync after each mutation RPC."""
@@ -110,12 +118,16 @@ class ChunkServer:
 
     # -- chunk lifecycle -----------------------------------------------------
     def create_chunk(self, chunk_id: str) -> None:
-        self.fs.write_file(self._path(chunk_id), b"")
-        self._commit()
+        path = self._path(chunk_id)
+        with self._lock:
+            self.fs.write_file(path, b"")
+            self._commit()
 
     def delete_chunk(self, chunk_id: str) -> None:
-        self.fs.unlink(self._path(chunk_id))
-        self._commit()
+        path = self._path(chunk_id)
+        with self._lock:
+            self.fs.unlink(path)
+            self._commit()
 
     def chunk_length(self, chunk_id: str) -> int:
         return self.fs.stat(self._path(chunk_id)).size
@@ -152,8 +164,10 @@ class ChunkServer:
             return results
 
     def write(self, chunk_id: str, offset: int, data: bytes) -> int:
-        written = self.fs._pwrite(self._path(chunk_id), offset, data)
-        self._commit()
+        path = self._path(chunk_id)
+        with self._lock:
+            written = self.fs._pwrite(path, offset, data)
+            self._commit()
         return written
 
     def writev(self, requests: list[tuple[str, int, bytes]]) -> int:
@@ -169,15 +183,17 @@ class ChunkServer:
         self._ensure_online()
         with self.obs.tracer.span(
             "chunkserver.writev", server=self.name, requests=len(requests)
-        ):
+        ), self._lock:
             for chunk_id, offset, data in requests:
                 self.fs._pwrite(self._path(chunk_id), offset, data)
             self._commit()
         return sum(len(data) for __, __, data in requests)
 
     def truncate(self, chunk_id: str, size: int) -> None:
-        self.fs.truncate(self._path(chunk_id), size)
-        self._commit()
+        path = self._path(chunk_id)
+        with self._lock:
+            self.fs.truncate(path, size)
+            self._commit()
 
     # -- pushed-down operations -----------------------------------------------------
     # On a CompressDB server these run against the compressed form; on a
@@ -187,7 +203,7 @@ class ChunkServer:
         path = self._path(chunk_id)
         with self.obs.tracer.span(
             "chunkserver.insert", server=self.name, nbytes=len(data)
-        ):
+        ), self._lock:
             if self.compressed:
                 assert isinstance(self.fs, CompressFS)
                 self.fs.ops.insert(path, offset, data)
@@ -199,7 +215,7 @@ class ChunkServer:
         path = self._path(chunk_id)
         with self.obs.tracer.span(
             "chunkserver.delete_range", server=self.name, length=length
-        ):
+        ), self._lock:
             if self.compressed:
                 assert isinstance(self.fs, CompressFS)
                 self.fs.ops.delete(path, offset, length)
@@ -263,7 +279,7 @@ class ChunkServer:
         path = self._path(chunk_id)
         with self.obs.tracer.span(
             "chunkserver.append", server=self.name, nbytes=len(data)
-        ):
+        ), self._lock:
             if self.compressed:
                 assert isinstance(self.fs, CompressFS)
                 self.fs.ops.append(path, data)
@@ -273,12 +289,13 @@ class ChunkServer:
 
     def replace(self, chunk_id: str, offset: int, data: bytes) -> None:
         path = self._path(chunk_id)
-        if self.compressed:
-            assert isinstance(self.fs, CompressFS)
-            self.fs.ops.replace(path, offset, data)
-        else:
-            self.fs._pwrite(path, offset, data)
-        self._commit()
+        with self._lock:
+            if self.compressed:
+                assert isinstance(self.fs, CompressFS)
+                self.fs.ops.replace(path, offset, data)
+            else:
+                self.fs._pwrite(path, offset, data)
+            self._commit()
 
     # -- snapshots -------------------------------------------------------------------
     # Snapshot RPCs only exist on CompressDB-backed servers: the frozen
@@ -293,12 +310,16 @@ class ChunkServer:
 
     def snap_create(self, name: str) -> None:
         """Freeze every chunk this server holds as snapshot ``name``."""
-        self._engine().snapshots.create(name)
-        self._commit()
+        engine = self._engine()
+        with self._lock:
+            engine.snapshots.create(name)
+            self._commit()
 
     def snap_delete(self, name: str) -> None:
-        self._engine().snapshots.delete(name)
-        self._commit()
+        engine = self._engine()
+        with self._lock:
+            engine.snapshots.delete(name)
+            self._commit()
 
     def has_snapshot(self, name: str) -> bool:
         return name in self._engine().snapshots

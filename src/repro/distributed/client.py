@@ -81,7 +81,8 @@ class ClusterClient:
     # -- namespace -------------------------------------------------------------
     def create(self, path: str) -> None:
         self._charge(0)  # metadata RPC to the master
-        self.master.create(path)
+        with self.master.lock:
+            self.master.create(path)
 
     def exists(self, path: str) -> bool:
         self._charge(0)
@@ -92,6 +93,10 @@ class ClusterClient:
         return self.master.file_size(path)
 
     def unlink(self, path: str) -> None:
+        with self.master.lock:
+            self._unlink(path)
+
+    def _unlink(self, path: str) -> None:
         self._charge(0)
         entry = self.master.unlink(path)
         for chunk in entry.chunks:
@@ -128,12 +133,13 @@ class ClusterClient:
 
     def write(self, path: str, offset: int, data: bytes) -> int:
         with self.obs.tracer.span("client.write", path=path, nbytes=len(data)):
-            return self._write(path, offset, data)
+            with self.master.lock:
+                return self._write(path, offset, data)
 
     def _write(self, path: str, offset: int, data: bytes) -> int:
         entry = self.master.lookup(path)
         if offset > entry.size:
-            self.append(path, b"\x00" * (offset - entry.size))
+            self._append(path, b"\x00" * (offset - entry.size))
         overlap = min(len(data), self.master.file_size(path) - offset)
         consumed = 0
         if overlap > 0:
@@ -150,12 +156,13 @@ class ClusterClient:
                 self._charge(sum(len(piece) for __, __, piece in requests))
                 server.writev(requests)
         if consumed < len(data):
-            self.append(path, data[consumed:])
+            self._append(path, data[consumed:])
         return len(data)
 
     def append(self, path: str, data: bytes) -> None:
         with self.obs.tracer.span("client.append", path=path, nbytes=len(data)):
-            self._append(path, data)
+            with self.master.lock:
+                self._append(path, data)
 
     def _append(self, path: str, data: bytes) -> None:
         entry = self.master.lookup(path)
@@ -180,11 +187,12 @@ class ClusterClient:
         return self.read(path, 0, self.master.file_size(path))
 
     def write_file(self, path: str, data: bytes) -> None:
-        if self.master.exists(path):
-            self.unlink(path)
-        self.master.create(path)
-        self._charge(0)
-        self.append(path, data)
+        with self.master.lock:
+            if self.master.exists(path):
+                self._unlink(path)
+            self.master.create(path)
+            self._charge(0)
+            self._append(path, data)
 
     # -- manipulation ---------------------------------------------------------------------
     def insert(self, path: str, offset: int, data: bytes) -> None:
@@ -197,7 +205,7 @@ class ClusterClient:
         """
         with self.obs.tracer.span(
             "client.insert", path=path, nbytes=len(data), pushdown=self.pushdown
-        ):
+        ), self.master.lock:
             if not self.pushdown:
                 self._insert_via_rewrite(path, offset, data)
                 return
@@ -215,7 +223,7 @@ class ClusterClient:
         """Delete a byte range; pushdown issues per-chunk local deletes."""
         with self.obs.tracer.span(
             "client.delete", path=path, length=length, pushdown=self.pushdown
-        ):
+        ), self.master.lock:
             self._delete(path, offset, length)
 
     def _delete(self, path: str, offset: int, length: int) -> None:
@@ -240,13 +248,13 @@ class ClusterClient:
     def _insert_via_rewrite(self, path: str, offset: int, data: bytes) -> None:
         size = self.master.file_size(path)
         tail = self.read(path, offset, size - offset)
-        self.write(path, offset, data + tail)
+        self._write(path, offset, data + tail)
 
     def _delete_via_rewrite(self, path: str, offset: int, length: int) -> None:
         size = self.master.file_size(path)
         tail = self.read(path, offset + length, size - offset - length)
         if tail:
-            self.write(path, offset, tail)
+            self._write(path, offset, tail)
         self._truncate(path, size - length)
 
     def _truncate(self, path: str, size: int) -> None:
@@ -283,6 +291,13 @@ class ClusterClient:
         if not target.online:
             raise ValueError(f"server {server_name} is offline; recover it first")
         repaired = 0
+        with self.master.lock:
+            repaired = self._resync_locked(target)
+        return repaired
+
+    def _resync_locked(self, target: ChunkServer) -> int:
+        server_name = target.name
+        repaired = 0
         for path in self.master.list_files():
             for chunk in self.master.lookup(path).chunks:
                 if server_name not in chunk.servers:
@@ -318,7 +333,7 @@ class ClusterClient:
         since.  Returns the servers that took the snapshot.
         """
         took = []
-        with self.obs.tracer.span("client.snapshot", snapshot=name):
+        with self.obs.tracer.span("client.snapshot", snapshot=name), self.master.lock:
             for server in self.servers.values():
                 if not server.online or not server.compressed:
                     continue
@@ -347,7 +362,7 @@ class ClusterClient:
         shipped = 0
         with self.obs.tracer.span(
             "client.incremental_resync", server=server_name, base=base_snap
-        ):
+        ), self.master.lock:
             local_chunks = set(target.chunk_ids())
             for chunk in self.master.chunks_on(server_name):
                 peers = [

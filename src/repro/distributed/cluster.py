@@ -55,13 +55,16 @@ def build_cluster(
     device_profile: DeviceProfile = CLOUD_ESSD,
     network: NetworkProfile = DATACENTER_LAN,
     replication: int = 1,
+    durable: bool = False,
 ) -> Cluster:
     """Build a cluster in the paper's configuration.
 
     ``compressed=False, pushdown=False`` is the MooseFS baseline;
     ``compressed=True, pushdown=True`` is CompressDB on MooseFS.
     ``replication`` is the MooseFS "goal": how many servers hold each
-    chunk (reads fail over to surviving replicas).
+    chunk (reads fail over to surviving replicas).  ``durable=True``
+    mounts each server's engine behind the journal (group commit after
+    every mutating RPC), as the crash-consistency experiments do.
     """
     if nodes < 1:
         raise ValueError("a cluster needs at least one node")
@@ -78,6 +81,7 @@ def build_cluster(
             block_size=block_size,
             profile=device_profile,
             stats=stats.register(name, prefix=f"cluster.{name}.device"),
+            durable=durable,
             obs=obs,
         )
     master = Master(list(servers), chunk_capacity=chunk_capacity, replication=replication)

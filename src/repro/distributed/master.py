@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis.sanitizer import tracked_lock
+
 
 class ClusterFileNotFound(Exception):
     """No such file in the cluster namespace."""
@@ -68,12 +70,19 @@ class Master:
         self.server_names = list(server_names)
         self.chunk_capacity = chunk_capacity
         self.replication = replication
+        #: Rank-0 lock of the cluster order (master -> chunkserver ->
+        #: client).  Mutating metadata RPCs do not self-lock — the
+        #: composite operations in :class:`ClusterClient` hold it across
+        #: the whole multi-RPC mutation, and each mutator declares that
+        #: contract with ``require_held()`` (enforced under a sanitizer).
+        self.lock = tracked_lock("master.lock", rank=0)
         self._files: dict[str, FileEntry] = {}
         self._next_chunk = 0
         self._next_server = 0
 
     # -- namespace ---------------------------------------------------------
     def create(self, path: str) -> FileEntry:
+        self.lock.require_held()
         if path in self._files:
             raise ClusterFileExists(path)
         entry = FileEntry(path=path)
@@ -90,6 +99,7 @@ class Master:
         return path in self._files
 
     def unlink(self, path: str) -> FileEntry:
+        self.lock.require_held()
         entry = self.lookup(path)
         del self._files[path]
         return entry
@@ -103,6 +113,7 @@ class Master:
     # -- chunk allocation ------------------------------------------------------
     def _pick_servers(self) -> list[str]:
         """``replication`` distinct servers, rotating the starting point."""
+        self.lock.require_held()
         count = len(self.server_names)
         start = self._next_server % count
         self._next_server += 1
@@ -110,6 +121,7 @@ class Master:
 
     def allocate_chunk(self, path: str, server: Optional[str] = None) -> ChunkInfo:
         """Append a fresh chunk to the file, placed round-robin by default."""
+        self.lock.require_held()
         entry = self.lookup(path)
         servers = [server] if server is not None else self._pick_servers()
         chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=servers, length=0)
@@ -119,6 +131,7 @@ class Master:
 
     def insert_chunk_after(self, path: str, index: int, server: str) -> ChunkInfo:
         """Splice a fresh chunk after position ``index`` (for big inserts)."""
+        self.lock.require_held()
         entry = self.lookup(path)
         chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=[server], length=0)
         self._next_chunk += 1
@@ -126,6 +139,7 @@ class Master:
         return chunk
 
     def drop_chunk(self, path: str, chunk_id: str) -> ChunkInfo:
+        self.lock.require_held()
         entry = self.lookup(path)
         for index, chunk in enumerate(entry.chunks):
             if chunk.chunk_id == chunk_id:

@@ -47,6 +47,7 @@ import struct
 import zlib
 from typing import Callable, Optional, Sequence, TypeVar
 
+from repro.analysis.sanitizer import tracked_lock
 from repro.storage.block_device import BlockDevice, BlockDeviceError, DeviceWrapper
 
 _DESC = struct.Struct("<QQI")  # magic, lsn, n_tags / n_writes
@@ -289,6 +290,10 @@ class JournalDevice(DeviceWrapper):
         self.journal = journal
         self.txn = Transaction()
         self.lsn = journal.next_lsn(inner)
+        #: Serializes the 4-phase publish: two interleaved commits would
+        #: splice their journal appends and tear both atomic units.
+        #: Unranked — it nests freely under the cluster tier locks.
+        self._commit_lock = tracked_lock("journal.commit.lock")
         registry = inner.obs.registry
         self._c_commits = registry.counter("journal.commits")
         self._c_journal_blocks = registry.counter("journal.blocks_written")
@@ -347,6 +352,10 @@ class JournalDevice(DeviceWrapper):
         deferred frees.  See the module docstring for why each phase is
         individually crash-safe.
         """
+        with self._commit_lock:
+            return self._commit_locked()
+
+    def _commit_locked(self) -> int:
         txn = self.txn
         if txn.is_empty():
             return 0

@@ -18,7 +18,11 @@ from repro.storage.simclock import SimClock
 class TestMaster:
     @pytest.fixture
     def master(self):
-        return Master(["n0", "n1", "n2"], chunk_capacity=100)
+        m = Master(["n0", "n1", "n2"], chunk_capacity=100)
+        # Mutating metadata RPCs declare require_held(): the caller owns
+        # the master lock (as ClusterClient does around composites).
+        with m.lock:
+            yield m
 
     def test_create_and_lookup(self, master):
         master.create("/f")

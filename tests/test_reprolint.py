@@ -992,3 +992,471 @@ class TestSurfacedBugs:
             handle.write(b"\x00" * 768)  # three 256-byte blocks
         with pytest.raises(BlockDeviceError, match="geometry"):
             FileBlockDevice(image, block_size=1024)
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural mode — call-graph passes and the concurrency rules
+# ---------------------------------------------------------------------------
+
+def lint_program(items, rules=None):
+    """Run the analyzer over several synthetic files as one program."""
+    analyzer = Analyzer(rules=rules, interprocedural=True)
+    return analyzer.run_sources(
+        [(path, textwrap.dedent(source)) for path, source in items]
+    )
+
+
+class TestInterproceduralLockRule:
+    """LOCK001 across call edges: the per-file pass provably misses the
+    violation, the program pass catches it."""
+
+    CALLER = (
+        "src/repro/distributed/node.py",
+        """
+        from repro.distributed.coord import Coordinator
+
+        class Node:
+            def __init__(self, coord: Coordinator):
+                self.coord = coord
+                self.server_lock = object()
+
+            def promote(self):
+                with self.server_lock:
+                    self.coord.elect()
+        """,
+    )
+    CALLEE = (
+        "src/repro/distributed/coord.py",
+        """
+        class Coordinator:
+            def __init__(self):
+                self.lock = object()
+
+            def elect(self):
+                with self.lock:
+                    pass
+        """,
+    )
+
+    def test_intra_mode_is_silent(self):
+        for path, source in (self.CALLER, self.CALLEE):
+            assert active(lint(source, path, rules=["LOCK001"])) == []
+
+    def test_unranked_callee_lock_nests_freely(self):
+        # Coordinator's canonical lock carries no tier keyword -> unranked,
+        # and unranked locks nest freely under ranked ones.
+        assert active(lint_program([self.CALLER, self.CALLEE], rules=["LOCK001"])) == []
+
+    def test_inter_mode_catches_cross_call_inversion(self):
+        master_callee = (
+            "src/repro/distributed/master2.py",
+            """
+            class Master2:
+                def __init__(self):
+                    self.master_lock = object()
+
+                def elect(self):
+                    with self.master_lock:
+                        pass
+            """,
+        )
+        caller = (
+            "src/repro/distributed/node.py",
+            """
+            from repro.distributed.master2 import Master2
+
+            class Node:
+                def __init__(self, master: Master2):
+                    self.master = master
+                    self.server_lock = object()
+
+                def promote(self):
+                    with self.server_lock:
+                        self.master.elect()
+            """,
+        )
+        findings = active(lint_program([caller, master_callee], rules=["LOCK001"]))
+        assert len(findings) == 1
+        assert "inversion across calls" in findings[0].message
+        assert "Node.promote" in findings[0].message
+        assert "Master2.elect" in findings[0].message
+
+    def test_inter_mode_self_deadlock_through_chain(self):
+        helper = (
+            "src/repro/distributed/helper.py",
+            """
+            class Box:
+                def __init__(self):
+                    self.state_lock = object()
+
+                def outer(self):
+                    with self.state_lock:
+                        self.inner()
+
+                def inner(self):
+                    with self.state_lock:
+                        pass
+            """,
+        )
+        findings = active(lint_program([helper], rules=["LOCK001"]))
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+
+class TestInterproceduralTxnRule:
+    """TXN001 across call edges: calling a require_transaction declarer
+    without establishing a scope."""
+
+    DECLARER = (
+        "src/repro/core/helpers.py",
+        """
+        from repro.storage.journal import require_transaction
+
+        def bump(device, table, block_no):
+            require_transaction(device)
+            table.add_record(block_no, b"")
+        """,
+    )
+
+    def test_intra_mode_is_silent_on_the_broken_caller(self):
+        caller = """
+            from repro.core.helpers import bump
+
+            def entry(device, table, block_no):
+                bump(device, table, block_no)
+            """
+        assert active(lint(caller, "src/repro/core/entry.py", rules=["TXN001"])) == []
+
+    def test_inter_mode_catches_the_broken_edge(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.helpers import bump
+
+            def entry(device, table, block_no):
+                bump(device, table, block_no)
+            """,
+        )
+        findings = active(lint_program([caller, self.DECLARER], rules=["TXN001"]))
+        assert len(findings) == 1
+        assert "requires an active transaction" in findings[0].message
+
+    def test_transactional_caller_is_accepted(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.helpers import bump
+            from repro.storage.journal import transactional
+
+            class Engine:
+                @transactional
+                def entry(self, device, table, block_no):
+                    bump(device, table, block_no)
+            """,
+        )
+        assert active(lint_program([caller, self.DECLARER], rules=["TXN001"])) == []
+
+    def test_declaring_caller_passes_obligation_up(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.helpers import bump
+            from repro.storage.journal import require_transaction
+
+            def entry(device, table, block_no):
+                require_transaction(device)
+                bump(device, table, block_no)
+            """,
+        )
+        assert active(lint_program([caller, self.DECLARER], rules=["TXN001"])) == []
+
+
+class TestInterproceduralRefcountRule:
+    """RC001 across call edges: a counted return dropped by the caller."""
+
+    PRODUCER = (
+        "src/repro/core/producer.py",
+        """
+        def duplicate(refcount, block_no):
+            refcount.incref(block_no)
+            return block_no
+        """,
+    )
+
+    def test_intra_mode_is_silent_on_both_sides(self):
+        assert active(lint(self.PRODUCER[1], self.PRODUCER[0], rules=["RC001"])) == []
+        caller = """
+            from repro.core.producer import duplicate
+
+            def entry(refcount, block_no):
+                duplicate(refcount, block_no)
+            """
+        assert active(lint(caller, "src/repro/core/entry.py", rules=["RC001"])) == []
+
+    def test_inter_mode_catches_dropped_counted_return(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.producer import duplicate
+
+            def entry(refcount, block_no):
+                duplicate(refcount, block_no)
+            """,
+        )
+        findings = active(lint_program([caller, self.PRODUCER], rules=["RC001"]))
+        assert len(findings) == 1
+        assert "discards the counted return" in findings[0].message
+
+    def test_inter_mode_tracks_bound_counted_return(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.producer import duplicate
+
+            def leak(refcount, slots, block_no):
+                dup = duplicate(refcount, block_no)
+                slots.validate()
+                slots.append_slot(dup)
+            """,
+        )
+        findings = active(lint_program([caller, self.PRODUCER], rules=["RC001"]))
+        assert len(findings) == 1
+        assert "can raise" in findings[0].message
+
+    def test_inter_mode_accepts_transferred_counted_return(self):
+        caller = (
+            "src/repro/core/entry.py",
+            """
+            from repro.core.producer import duplicate
+
+            def entry(refcount, slots, block_no):
+                dup = duplicate(refcount, block_no)
+                slots.append_slot(dup)
+            """,
+        )
+        assert active(lint_program([caller, self.PRODUCER], rules=["RC001"])) == []
+
+
+class TestSharedStateRule:
+    """CONC001 — shared mutable state outside lock/transaction scope."""
+
+    def test_unscoped_instance_mutation_flagged(self):
+        fixture = (
+            "src/repro/distributed/reg.py",
+            """
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+
+                def put(self, key, value):
+                    self.entries[key] = value
+            """,
+        )
+        findings = active(lint_program([fixture], rules=["CONC001"]))
+        assert len(findings) == 1
+        assert "self.entries" in findings[0].message
+
+    def test_lock_scoped_mutation_accepted(self):
+        fixture = (
+            "src/repro/distributed/reg.py",
+            """
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+                    self.reg_lock = object()
+
+                def put(self, key, value):
+                    with self.reg_lock:
+                        self.entries[key] = value
+            """,
+        )
+        assert active(lint_program([fixture], rules=["CONC001"])) == []
+
+    def test_require_held_declarer_accepted(self):
+        fixture = (
+            "src/repro/distributed/reg.py",
+            """
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+                    self.reg_lock = object()
+
+                def put(self, key, value):
+                    self.reg_lock.require_held()
+                    self.entries[key] = value
+            """,
+        )
+        assert active(lint_program([fixture], rules=["CONC001"])) == []
+
+    def test_constructor_only_helper_accepted(self):
+        fixture = (
+            "src/repro/distributed/reg.py",
+            """
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+                    self._seed()
+
+                def _seed(self):
+                    self.entries["root"] = None
+            """,
+        )
+        assert active(lint_program([fixture], rules=["CONC001"])) == []
+
+    def test_module_global_mutation_flagged(self):
+        fixture = (
+            "src/repro/storage/registry.py",
+            """
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+            """,
+        )
+        findings = active(lint_program([fixture], rules=["CONC001"]))
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+
+    def test_suppression_with_justification(self):
+        fixture = (
+            "src/repro/distributed/reg.py",
+            """
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+
+                def put(self, key, value):
+                    self.entries[key] = value  # reprolint: disable=CONC001 -- single-writer by protocol until the MVCC arc lands
+            """,
+        )
+        findings = lint_program([fixture], rules=["CONC001"])
+        assert active(findings) == []
+        assert len(findings) == 1 and findings[0].suppressed
+
+
+class TestLockGraphRule:
+    """CONC002 — cycles in the interprocedural lock-order graph."""
+
+    CYCLE = (
+        "src/repro/distributed/pair.py",
+        """
+        class Pair:
+            def __init__(self):
+                self.alpha_lock = object()
+                self.beta_lock = object()
+
+            def ab(self):
+                with self.alpha_lock:
+                    with self.beta_lock:
+                        pass
+
+            def ba(self):
+                with self.beta_lock:
+                    with self.alpha_lock:
+                        pass
+        """,
+    )
+
+    def test_cycle_detected_with_witness_chains(self):
+        findings = active(lint_program([self.CYCLE], rules=["CONC002"]))
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+        assert "witness chains" in findings[0].message
+        assert "Pair.ab" in findings[0].message
+        assert "Pair.ba" in findings[0].message
+
+    def test_consistent_order_has_no_cycle(self):
+        fixture = (
+            "src/repro/distributed/pair.py",
+            """
+            class Pair:
+                def __init__(self):
+                    self.alpha_lock = object()
+                    self.beta_lock = object()
+
+                def ab(self):
+                    with self.alpha_lock:
+                        with self.beta_lock:
+                            pass
+
+                def ab_again(self):
+                    with self.alpha_lock:
+                        self.tail()
+
+                def tail(self):
+                    with self.beta_lock:
+                        pass
+            """,
+        )
+        assert active(lint_program([fixture], rules=["CONC002"])) == []
+
+    def test_cross_call_cycle_detected(self):
+        fixture = (
+            "src/repro/distributed/pair.py",
+            """
+            class Pair:
+                def __init__(self):
+                    self.alpha_lock = object()
+                    self.beta_lock = object()
+
+                def ab(self):
+                    with self.alpha_lock:
+                        self.grab_beta()
+
+                def grab_beta(self):
+                    with self.beta_lock:
+                        pass
+
+                def ba(self):
+                    with self.beta_lock:
+                        self.grab_alpha()
+
+                def grab_alpha(self):
+                    with self.alpha_lock:
+                        pass
+            """,
+        )
+        findings = active(lint_program([fixture], rules=["CONC002"]))
+        assert len(findings) == 1
+        assert "via" in findings[0].message
+
+    def test_program_rules_auto_enable_interprocedural(self):
+        # Selecting a program-only rule flips the analyzer into
+        # interprocedural mode even without the explicit flag.
+        findings = Analyzer(rules=["CONC002"]).run_source(
+            textwrap.dedent(self.CYCLE[1]), self.CYCLE[0]
+        )
+        assert len(active(findings)) == 1
+
+    def test_shipped_tree_is_clean_interprocedurally(self):
+        report = run_paths([default_target()], interprocedural=True)
+        assert report.active == [], "\n" + report.render_text()
+
+
+class TestInterproceduralCLI:
+    def test_cli_interprocedural_clean_on_tree(self, capsys):
+        assert main(["lint", "--interprocedural"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_callgraph_dot_stdout(self, capsys):
+        assert main(["lint", "--callgraph-dot", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph reprolint {")
+        assert "cluster_calls" in out
+        assert "cluster_locks" in out
+
+    def test_cli_callgraph_dot_file_is_byte_stable(self, tmp_path, capsys):
+        first = tmp_path / "a.dot"
+        second = tmp_path / "b.dot"
+        assert main(["lint", "--callgraph-dot", str(first)]) == 0
+        assert main(["lint", "--callgraph-dot", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        text = first.read_text()
+        # The protocol's signature static edge must be in the dump.
+        assert "distributed.master.Master.lock" in text
+
+    def test_cli_sanitize_smoke_agrees(self, capsys):
+        assert main(["lint", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "static and observed lock order agree" in out

@@ -1,0 +1,218 @@
+"""Runtime lock-order sanitizer and its agreement with the static graph.
+
+The acceptance bar of the interprocedural arc: the lock-order graph
+CONC002 derives statically must agree with what the sanitizer observes
+on the multi-session interleaving smoke workload, and a deliberately
+injected inversion must be caught by both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_program_for, default_target
+from repro.analysis.sanitizer import (
+    LockContractError,
+    LockOrderSanitizer,
+    LockOrderViolation,
+    TrackedLock,
+    check_agreement,
+    current_sanitizer,
+    install_sanitizer,
+    uninstall_sanitizer,
+)
+from repro.distributed import run_interleaved_sessions
+from repro.distributed.cluster import build_cluster
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_sanitizer():
+    """Neutralize a REPRO_SANITIZE-installed sanitizer: these tests
+    manage installation explicitly, and restore the ambient one after."""
+    ambient = current_sanitizer()
+    uninstall_sanitizer()
+    yield
+    if ambient is not None:
+        install_sanitizer(ambient)
+    else:
+        uninstall_sanitizer()
+
+
+@pytest.fixture
+def sanitizer():
+    san = install_sanitizer(LockOrderSanitizer(raise_on_violation=False))
+    yield san
+    uninstall_sanitizer()
+
+
+@pytest.fixture
+def strict_sanitizer():
+    san = install_sanitizer(LockOrderSanitizer())
+    yield san
+    uninstall_sanitizer()
+
+
+class TestTrackedLock:
+    def test_uninstalled_lock_is_a_plain_mutex(self):
+        assert current_sanitizer() is None
+        lock = TrackedLock("master.lock")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_rank_inferred_from_order_key(self):
+        assert TrackedLock("master.lock").rank == 0
+        assert TrackedLock("chunkserver.node0.lock").rank == 1
+        assert TrackedLock("client.session.lock").rank == 2
+        assert TrackedLock("journal.commit.lock").rank is None
+
+    def test_require_held_is_noop_without_sanitizer(self):
+        TrackedLock("master.lock").require_held()  # must not raise
+
+    def test_require_held_enforced_under_sanitizer(self, strict_sanitizer):
+        lock = TrackedLock("master.lock")
+        with pytest.raises(LockContractError):
+            lock.require_held()
+        with lock:
+            lock.require_held()  # held: passes
+
+    def test_require_held_distinguishes_sessions(self, strict_sanitizer):
+        lock = TrackedLock("master.lock")
+        with strict_sanitizer.session("a"):
+            lock.__enter__()
+        try:
+            with strict_sanitizer.session("b"):
+                with pytest.raises(LockContractError):
+                    lock.require_held()
+            with strict_sanitizer.session("a"):
+                lock.require_held()
+        finally:
+            with strict_sanitizer.session("a"):
+                lock.__exit__(None, None, None)
+
+
+class TestViolations:
+    def test_tier_inversion_detected(self, sanitizer):
+        outer = TrackedLock("client.lock")
+        inner = TrackedLock("master.lock")
+        with sanitizer.session("s"):
+            with outer:
+                with inner:
+                    pass
+        assert any("inversion" in v for v in sanitizer.violations)
+
+    def test_declared_order_is_silent(self, sanitizer):
+        with sanitizer.session("s"):
+            with TrackedLock("master.lock"):
+                with TrackedLock("chunkserver.node0.lock"):
+                    with TrackedLock("journal.commit.lock"):
+                        pass
+        assert sanitizer.violations == []
+
+    def test_reacquisition_detected(self, sanitizer):
+        lock = TrackedLock("journal.commit.lock")
+        with sanitizer.session("s"):
+            sanitizer.note_acquire(lock)
+            sanitizer.note_acquire(lock)
+        assert any("self-deadlock" in v for v in sanitizer.violations)
+
+    def test_static_edge_reversal_detected(self):
+        san = install_sanitizer(
+            LockOrderSanitizer(
+                static_edges={("alpha.lock", "beta.lock")},
+                raise_on_violation=False,
+            )
+        )
+        try:
+            with san.session("s"):
+                with TrackedLock("beta.lock"):
+                    with TrackedLock("alpha.lock"):
+                        pass
+        finally:
+            uninstall_sanitizer()
+        assert any("reverses" in v for v in san.violations)
+
+    def test_sessions_have_independent_stacks(self, sanitizer):
+        master = TrackedLock("master.lock")
+        client = TrackedLock("client.lock")
+        with sanitizer.session("a"):
+            sanitizer.note_acquire(client)
+        # Same thread, different logical session: no inversion.
+        with sanitizer.session("b"):
+            sanitizer.note_acquire(master)
+        assert sanitizer.violations == []
+
+    def test_raise_on_violation(self, strict_sanitizer):
+        with strict_sanitizer.session("s"):
+            with TrackedLock("client.lock"):
+                with pytest.raises(LockOrderViolation):
+                    TrackedLock("master.lock").__enter__()
+
+
+class TestCheckAgreement:
+    def test_agreeing_graphs_are_silent(self):
+        static = {("repro.distributed.master.Master.lock",
+                   "repro.distributed.chunkserver.ChunkServer._lock")}
+        observed = {("master.lock", "chunkserver.node0.lock")}
+        assert check_agreement(static, observed) == []
+
+    def test_reversed_observation_is_a_problem(self):
+        static = {("repro.distributed.master.Master.lock",
+                   "repro.distributed.chunkserver.ChunkServer._lock")}
+        observed = {("chunkserver.node0.lock", "master.lock")}
+        problems = check_agreement(static, observed)
+        assert problems, "chunk -> master reverses the static master -> chunk"
+
+    def test_observed_tier_inversion_is_a_problem(self):
+        problems = check_agreement(set(), {("client.inject.lock", "master.lock")})
+        assert any("tier order" in p for p in problems)
+
+
+class TestInterleavedSmoke:
+    """The acceptance cross-check: static and observed graphs agree."""
+
+    def _static_edges(self):
+        program = build_program_for([default_target()])
+        return {
+            (edge.outer, edge.inner)
+            for edge in program.summaries.lock_order_edges()
+        }
+
+    def test_smoke_clean_and_graphs_agree(self, sanitizer):
+        static = self._static_edges()
+        sanitizer.static_edges = frozenset(static)
+        run_interleaved_sessions(
+            sessions=3,
+            rounds=2,
+            sanitizer=sanitizer,
+            cluster=build_cluster(nodes=2, durable=True),
+        )
+        assert sanitizer.violations == []
+        observed = sanitizer.observed_edges()
+        # The protocol's signature edges must actually be exercised.
+        assert ("master.lock", "chunkserver.node0.lock") in observed
+        assert ("chunkserver.node0.lock", "journal.commit.lock") in observed
+        # Static side must predict master -> chunkserver too.
+        static_pairs = {
+            ("master" in outer.lower(), "chunk" in inner.lower())
+            for outer, inner in static
+        }
+        assert (True, True) in static_pairs
+        assert check_agreement(static, observed) == []
+
+    def test_injected_inversion_caught_at_runtime(self, sanitizer):
+        run_interleaved_sessions(
+            sessions=2,
+            rounds=1,
+            sanitizer=sanitizer,
+            inject_inversion=True,
+        )
+        assert any("inversion" in v for v in sanitizer.violations)
+        problems = check_agreement(
+            self._static_edges(), sanitizer.observed_edges()
+        )
+        assert any("tier order" in p for p in problems)
+
+    def test_smoke_runs_without_sanitizer(self):
+        cluster = run_interleaved_sessions(sessions=2, rounds=1)
+        assert cluster.master.list_files() == []  # every script unlinks
