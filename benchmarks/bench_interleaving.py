@@ -1,17 +1,44 @@
-"""Section 6.3, interleaving operations.
+"""Section 6.3, interleaving operations — and MVCC session concurrency.
 
 The paper mixes the seven operation types (~14% each) and reports that
 extract/replace/search/append/count slow down mildly versus running
 each type in isolation (4–18%), insert/delete stay the same, and the
 overall CompressDB advantage over the baseline persists (~19% under
 mixed workloads).
+
+On top of the single-stream mix, this benchmark measures the MVCC
+session layer (DESIGN.md §13): how many journal commit sequences 64
+concurrent small writers need (group commit must batch them into
+``<= GROUP_COMMIT_BOUND``), the abort rate under single-file
+contention, and the snapshot read path's simulated-time overhead
+against direct engine reads (``<= READ_OVERHEAD_BOUND``).  Results
+land in ``BENCH_mvcc.json``.  Runnable standalone
+(``python benchmarks/bench_interleaving.py [--smoke]``) or under
+pytest with the benchmark suite.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
+import sys
+from pathlib import Path
 
 from repro.bench import make_fs, print_table
+from repro.core.engine import CompressDB
+from repro.distributed.interleave import run_mvcc_sessions
 from repro.fs.posix_ops import PosixOperations, PushdownOperations
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import HDD_5400RPM, SimClock
 from repro.workloads import generate_dataset
+
+#: 64 concurrent writers must need at most this many journal sequences.
+GROUP_COMMIT_BOUND = 8
+#: Snapshot reads may cost at most 10% over direct engine reads.
+READ_OVERHEAD_BOUND = 1.10
+
+MVCC_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_mvcc.json"
 
 OP_NAMES = ("extract", "replace", "insert", "delete", "append", "search", "count")
 OPS_PER_TYPE = 12
@@ -112,3 +139,166 @@ def test_interleaving(benchmark):
         "(paper reports 18.82% is maintained)"
     )
     assert gain > 0, "CompressDB must stay ahead under mixed workloads"
+
+
+# ---------------------------------------------------------------------------
+# MVCC sessions: group commit, contention, snapshot read overhead
+# ---------------------------------------------------------------------------
+
+
+def _mvcc_group_commit(writers: int = 64) -> dict:
+    """Journal commit sequences needed by ``writers`` concurrent sessions."""
+    engine = CompressDB.mount(
+        MemoryBlockDevice(block_size=512), journal_blocks=256
+    )
+    lsn_before = engine.device.lsn
+    sessions = []
+    for index in range(writers):
+        session = engine.mvcc.begin()
+        path = f"/writer-{index:03d}"
+        session.create(path)
+        session.write(path, 0, b"small group-commit payload " * 2)
+        sessions.append(session)
+    tickets = [session.commit() for session in sessions]
+    engine.mvcc.flush_group()
+    assert all(ticket.durable for ticket in tickets)
+    return {
+        "writers": writers,
+        "journal_commits": engine.device.lsn - lsn_before,
+        "distinct_lsns": len({ticket.lsn for ticket in tickets}),
+        "group_size": engine.mvcc.group_size,
+    }
+
+
+def _mvcc_contention(sessions: int = 8, steps: int = 320, seed: int = 9) -> dict:
+    """Abort rate when every session fights over one shared file."""
+    result = run_mvcc_sessions(
+        sessions=sessions, steps=steps, seed=seed, shared_paths=1,
+        record_history=False,
+    )
+    closed = result["committed"] + result["aborted"]
+    return {
+        "sessions": sessions,
+        "steps": steps,
+        "committed": result["committed"],
+        "aborted": result["aborted"],
+        "abort_rate": result["aborted"] / max(1, closed),
+    }
+
+
+def _mvcc_read_overhead(reads: int = 256) -> dict:
+    """Simulated device time: snapshot reads vs direct engine reads."""
+    payload = b"snapshot read-path payload " * 512
+
+    def mount():
+        clock = SimClock()
+        device = MemoryBlockDevice(
+            block_size=512, profile=HDD_5400RPM, clock=clock
+        )
+        engine = CompressDB.mount(device)
+        engine.write_file("/doc", payload)
+        engine.fsync()
+        return engine, clock
+
+    rng = random.Random(17)
+    offsets = [rng.randrange(len(payload) - 256) for __ in range(reads)]
+    engine, clock = mount()
+    start = clock.now
+    for offset in offsets:
+        engine.read("/doc", offset, 256)
+    baseline = clock.now - start
+    engine, clock = mount()
+    session = engine.mvcc.begin()
+    start = clock.now
+    for offset in offsets:
+        session.read("/doc", offset, 256)
+    session_time = clock.now - start
+    session.commit()
+    overhead = session_time / baseline if baseline > 0 else 1.0
+    return {
+        "reads": reads,
+        "baseline_sim_ms": baseline * 1e3,
+        "session_sim_ms": session_time * 1e3,
+        "overhead": overhead,
+    }
+
+
+def run_mvcc(smoke: bool = False) -> dict:
+    return {
+        "group_commit": _mvcc_group_commit(writers=64),
+        "contention": _mvcc_contention(steps=160 if smoke else 320),
+        "read_overhead": _mvcc_read_overhead(reads=128 if smoke else 256),
+    }
+
+
+def mvcc_report(results: dict) -> dict:
+    group = results["group_commit"]
+    contention = results["contention"]
+    reads = results["read_overhead"]
+    print_table(
+        ["writers", "journal commits", "distinct LSNs", "group size"],
+        [[
+            str(group["writers"]),
+            str(group["journal_commits"]),
+            str(group["distinct_lsns"]),
+            str(group["group_size"]),
+        ]],
+        title="MVCC group commit: 64 concurrent writers",
+    )
+    print_table(
+        ["sessions", "committed", "aborted", "abort rate"],
+        [[
+            str(contention["sessions"]),
+            str(contention["committed"]),
+            str(contention["aborted"]),
+            f"{contention['abort_rate'] * 100:.1f}%",
+        ]],
+        title="MVCC contention: one shared file",
+    )
+    print_table(
+        ["path", "sim time (ms)", "overhead"],
+        [
+            ["direct engine reads", f"{reads['baseline_sim_ms']:.2f}", "1.00x"],
+            [
+                "snapshot session reads",
+                f"{reads['session_sim_ms']:.2f}",
+                f"{reads['overhead']:.2f}x",
+            ],
+        ],
+        title="MVCC read path: snapshot vs direct",
+    )
+    MVCC_JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _check_mvcc(summary: dict) -> None:
+    commits = summary["group_commit"]["journal_commits"]
+    assert commits <= GROUP_COMMIT_BOUND, (
+        f"{summary['group_commit']['writers']} writers took {commits} journal "
+        f"commit sequences, over the {GROUP_COMMIT_BOUND} bound"
+    )
+    overhead = summary["read_overhead"]["overhead"]
+    assert overhead <= READ_OVERHEAD_BOUND, (
+        f"snapshot read overhead {overhead:.2f}x exceeds the "
+        f"{READ_OVERHEAD_BOUND}x bound"
+    )
+
+
+def test_mvcc_sessions(benchmark):
+    results = benchmark.pedantic(run_mvcc, rounds=1, iterations=1)
+    _check_mvcc(mvcc_report(results))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced volume for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+    _check_mvcc(mvcc_report(run_mvcc(smoke=args.smoke)))
+    print(f"wrote {MVCC_JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ LAYER_RANKS = {
     "repro.tadoc": 1,
     "repro.snap": 1,
     "repro.core": 1,
+    "repro.mvcc": 1,
     "repro.fs": 2,
     "repro.databases": 3,
     "repro.distributed": 3,

@@ -1,18 +1,21 @@
 """LOCK001 — cluster lock ordering.
 
-The distributed tier (master / chunk servers / clients) follows one
-declared acquisition order to stay deadlock-free::
+The lock hierarchy follows one declared acquisition order to stay
+deadlock-free, from the cluster tiers down to the engine-level MVCC
+tier::
 
     master (rank 0)  →  chunkserver (rank 1)  →  client (rank 2)
+    →  inode (rank 3)
 
 Any nested ``with <lock>:`` acquisition in ``repro.distributed`` whose
 inner lock ranks **at or below** the outer lock inverts (or re-enters)
 the order and is flagged.  Lock expressions are classified by name:
 anything containing ``lock`` is a lock; its tier comes from the first
-tier keyword (``master`` / ``chunk``/``server`` / ``client``) appearing
-in the dotted expression.  Unranked locks nest freely under ranked
-ones — but re-acquiring the *same* expression is always a self-deadlock
-for a non-reentrant ``threading.Lock`` and is flagged too.
+tier keyword (``master`` / ``chunk``/``server`` / ``client`` /
+``inode``) appearing in the dotted expression.  Unranked locks nest
+freely under ranked ones — but re-acquiring the *same* expression is
+always a self-deadlock for a non-reentrant ``threading.Lock`` and is
+flagged too.
 """
 
 from __future__ import annotations
@@ -23,12 +26,16 @@ from typing import Iterator, Optional
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.framework import Checker, FileContext, register
 
-#: Declared master → chunkserver → client order.
+#: Declared master → chunkserver → client → inode order.  The ``inode``
+#: tier is the per-inode MVCC write lock taken during session commit —
+#: always innermost, so engine-level commits can run under any cluster
+#: lock but never the reverse.
 LOCK_TIERS = (
     ("master", 0),
     ("chunk", 1),
     ("server", 1),
     ("client", 2),
+    ("inode", 3),
 )
 
 
@@ -56,7 +63,7 @@ class LockOrderChecker(Checker):
     severity = Severity.ERROR
     description = (
         "nested lock acquisitions in repro.distributed must follow the "
-        "declared master -> chunkserver -> client order"
+        "declared master -> chunkserver -> client -> inode order"
     )
     interprocedural = True
 
@@ -106,7 +113,7 @@ class LockOrderChecker(Checker):
                                 f"acquired via {via} while holding "
                                 f"{outer.canonical!r} (rank {outer.rank}); "
                                 "declared order is master -> chunkserver -> "
-                                "client",
+                                "client -> inode",
                             )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -142,7 +149,7 @@ class LockOrderChecker(Checker):
                         f"lock order inversion: {source!r} (rank {inner_rank}) "
                         f"acquired while holding {outer_source!r} (rank "
                         f"{outer_rank}); declared order is master -> "
-                        "chunkserver -> client",
+                        "chunkserver -> client -> inode",
                     )
 
     def _held_locks(self, ctx: FileContext, node: ast.With) -> list[str]:

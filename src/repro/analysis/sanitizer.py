@@ -16,7 +16,7 @@ opt-in and free when off:
 Locks participate by being :class:`TrackedLock` instances (see
 :func:`tracked_lock`).  Each carries an ``order_key`` (the runtime
 spelling of the static canonical name) and a tier ``rank`` under the
-declared master → chunkserver → client order.  The sanitizer keeps one
+declared master → chunkserver → client → inode order.  The sanitizer keeps one
 acquisition stack per ``(thread, logical session)`` — SimClock
 interleaving is cooperative, so logical sessions on one thread are
 distinguished with the :meth:`LockOrderSanitizer.session` context
@@ -40,7 +40,9 @@ from contextlib import contextmanager
 
 #: Keyword tiers, mirroring rules_locks.LOCK_TIERS (kept literal here so
 #: the runtime side has no import-time dependency on the AST machinery).
-_TIERS = (("master", 0), ("chunk", 1), ("server", 1), ("client", 2))
+#: ``inode`` is the engine-level MVCC tier below the cluster locks:
+#: per-inode write locks taken during session commit.
+_TIERS = (("master", 0), ("chunk", 1), ("server", 1), ("client", 2), ("inode", 3))
 
 
 def rank_of(order_key: str) -> Optional[int]:
@@ -86,13 +88,18 @@ class LockOrderSanitizer:
 
     # -- logical sessions ---------------------------------------------------
     @contextmanager
-    def session(self, label: str) -> Iterator[None]:
-        """Tag the current thread as logical session ``label``.
+    def session(self, session: object) -> Iterator[None]:
+        """Tag the current thread as running one logical session.
 
         SimClock interleaving runs many sessions on one OS thread; the
         tag keeps their acquisition stacks separate, exactly like the
         per-session symbol the static analysis reasons about.
+
+        Accepts an MVCC :class:`~repro.mvcc.session.Session` (keyed by
+        its stable ``session_key`` identity) or any label string for
+        drivers without real session objects.
         """
+        label = getattr(session, "session_key", session)
         previous = getattr(self._local, "session", None)
         self._local.session = label
         try:
@@ -248,9 +255,11 @@ class TrackedLock:
             )
 
 
-def tracked_lock(name: str, rank: Optional[int] = None) -> TrackedLock:
+def tracked_lock(
+    name: str, rank: Optional[int] = None, order_key: Optional[str] = None
+) -> TrackedLock:
     """The factory the runtime components use (one import site)."""
-    return TrackedLock(name, rank=rank)
+    return TrackedLock(name, rank=rank, order_key=order_key)
 
 
 def check_agreement(
@@ -271,7 +280,7 @@ def check_agreement(
         rank = rank_of(key)
         if rank is None:
             return key
-        return {0: "master", 1: "chunk", 2: "client"}[rank]
+        return {0: "master", 1: "chunk", 2: "client", 3: "inode"}[rank]
 
     def normalize(edges: Sequence[tuple[str, str]]) -> set[tuple[str, str]]:
         return {
@@ -287,7 +296,7 @@ def check_agreement(
         for outer, inner in sorted(observed_norm)
         if (inner, outer) in static_norm
     ]
-    tier_rank = {"master": 0, "chunk": 1, "client": 2}
+    tier_rank = {"master": 0, "chunk": 1, "client": 2, "inode": 3}
     problems += [
         f"observed edge {outer!r} -> {inner!r} inverts the declared tier order"
         for outer, inner in sorted(observed_norm)

@@ -18,7 +18,6 @@ only ever see POSIX-like calls plus the extra pushdown APIs.
 from __future__ import annotations
 
 import contextlib
-import itertools
 from typing import Iterator, Optional, Sequence
 
 from dataclasses import dataclass, field
@@ -142,6 +141,10 @@ class CompressDB:
         self.snapshots = SnapshotManager(self)
         self._c_txn_commits = self.obs.registry.counter("engine.txn.commits")
         self._h_commit_ms = self.obs.registry.histogram("engine.txn.commit_ms")
+        # MVCC session manager, created lazily on first use (breaks the
+        # engine <-> mvcc import cycle and keeps the mvcc.* instruments
+        # out of the registry until sessions actually run).
+        self._mvcc = None
 
     @property
     def block_size(self) -> int:
@@ -188,6 +191,38 @@ class CompressDB:
             if self._txn_depth == 0:
                 self.fsync()
 
+    # -- MVCC sessions -------------------------------------------------------
+    @property
+    def mvcc(self):
+        """The MVCC :class:`~repro.mvcc.manager.SessionManager` (lazy)."""
+        if self._mvcc is None:
+            from repro.mvcc.manager import SessionManager
+
+            self._mvcc = SessionManager(self)
+        return self._mvcc
+
+    @contextlib.contextmanager
+    def session(self):
+        """Scope one snapshot-isolated session (see DESIGN.md §13).
+
+        The session sees a stable point-in-time image of every file it
+        touches and buffers its own writes.  A clean exit commits
+        (first-committer-wins — :class:`repro.mvcc.WriteConflict`
+        propagates when another session got there first); an exception
+        aborts.  Explicit ``commit()``/``abort()`` inside the scope
+        wins over the implicit exit behavior.
+        """
+        session = self.mvcc.begin()
+        try:
+            yield session
+        except BaseException:
+            if session.active:
+                self.mvcc.abort(session, "exception inside session scope")
+            raise
+        else:
+            if session.active:
+                session.commit()
+
     def fsync(self, path: Optional[str] = None) -> None:
         """Make every completed mutation durable on the device.
 
@@ -204,8 +239,10 @@ class CompressDB:
 
     # -- namespace -----------------------------------------------------------
     @transactional
-    def create(self, path: str) -> None:
+    def create(self, path: str, *, session=None) -> None:
         """Create an empty file at ``path``."""
+        if session is not None:
+            return session.create(path)
         if path in self._inodes:
             raise FileExistsInEngine(path)
         self._inodes[path] = Inode(
@@ -214,7 +251,9 @@ class CompressDB:
             device=self.device,
         )
 
-    def exists(self, path: str) -> bool:
+    def exists(self, path: str, *, session=None) -> bool:
+        if session is not None:
+            return session.exists(path)
         return path in self._inodes
 
     def inode(self, path: str) -> Inode:
@@ -266,8 +305,10 @@ class CompressDB:
         self._flush_pending(path)
 
     @transactional
-    def unlink(self, path: str) -> None:
+    def unlink(self, path: str, *, session=None) -> None:
         """Delete a file, releasing every block it references."""
+        if session is not None:
+            return session.unlink(path)
         inode = self._inode_raw(path)
         self._pending.pop(path, None)  # buffered bytes die with the file
         for slot in inode.iter_slots():
@@ -275,7 +316,7 @@ class CompressDB:
         del self._inodes[path]
 
     @transactional
-    def rename(self, old: str, new: str) -> None:
+    def rename(self, old: str, new: str, *, session=None) -> None:
         """Move a file to a new name.
 
         In memory this is a dict move; durably it is atomic, because
@@ -283,6 +324,8 @@ class CompressDB:
         — any published image carries either the old name or the new
         one, never both or neither.
         """
+        if session is not None:
+            return session.rename(old, new)
         if new in self._inodes:
             raise FileExistsInEngine(new)
         self._inodes[new] = self._inode_raw(old)
@@ -322,11 +365,15 @@ class CompressDB:
             raise
         self._inodes[dst] = clone
 
-    def list_files(self, prefix: str = "") -> list[str]:
+    def list_files(self, prefix: str = "", *, session=None) -> list[str]:
         """Paths in the namespace, optionally filtered by prefix."""
+        if session is not None:
+            return session.list_files(prefix)
         return sorted(p for p in self._inodes if p.startswith(prefix))
 
-    def file_size(self, path: str) -> int:
+    def file_size(self, path: str, *, session=None) -> int:
+        if session is not None:
+            return session.file_size(path)
         # Pending coalesced bytes count toward the logical size without
         # forcing a flush, so append loops polling the size stay cheap.
         buffered = self._pending.get(path)
@@ -335,6 +382,19 @@ class CompressDB:
     def iter_inodes(self) -> Iterator[Inode]:
         self._flush_pending()
         return iter(self._inodes.values())
+
+    def _index_sources(self):
+        """Every slot-table holder the dedup index must cover.
+
+        Live inodes, snapshot records, and MVCC-pinned frozen images:
+        a block held only by a session pin still has a valid dedup
+        record, so a rebuild (remount, fsck) must index it too or a
+        later identical write would store the content twice.
+        """
+        yield from self.iter_inodes()
+        yield from self.snapshots.iter_frozen_inodes()
+        if self._mvcc is not None:
+            yield from self._mvcc.iter_pinned_inodes()
 
     # -- block get/release protocol -----------------------------------------------
     def get_block(self, path: str, slot_index: int) -> BlockHandle:
@@ -373,11 +433,15 @@ class CompressDB:
         )
 
     # -- POSIX-like data access -------------------------------------------------
-    def read(self, path: str, offset: int, size: int) -> bytes:
+    def read(self, path: str, offset: int, size: int, *, session=None) -> bytes:
         """POSIX ``read``: short reads at end of file, never an error."""
+        if session is not None:
+            return session.read(path, offset, size)
         return self.ops.extract(path, offset, size)
 
-    def readv(self, path: str, spans: Sequence[tuple[int, int]]) -> list[bytes]:
+    def readv(
+        self, path: str, spans: Sequence[tuple[int, int]], *, session=None
+    ) -> list[bytes]:
         """Vectored read: serve every ``(offset, size)`` span at once.
 
         The slot runs covering all spans are planned first, then every
@@ -386,6 +450,8 @@ class CompressDB:
         N sequential ones.  Each span follows POSIX ``read`` semantics
         (short reads at end of file).
         """
+        if session is not None:
+            return session.readv(path, spans)
         self._flush_pending(path)
         inode = self._inode_raw(path)
         with self.obs.tracer.span("engine.readv", path=path, spans=len(spans)):
@@ -434,7 +500,7 @@ class CompressDB:
         return results
 
     @transactional
-    def write(self, path: str, offset: int, data: bytes) -> int:
+    def write(self, path: str, offset: int, data: bytes, *, session=None) -> int:
         """POSIX ``write``: overwrite in place, extend past end of file.
 
         Writing beyond the current end fills the gap with zero bytes
@@ -446,6 +512,8 @@ class CompressDB:
         read-modify-write per call.  Any overlapping or backward write
         flushes the buffer first and takes the in-place path.
         """
+        if session is not None:
+            return session.write(path, offset, data)
         inode = self._inode_raw(path)
         if offset < 0:
             raise ValueError("offset must be non-negative")
@@ -484,8 +552,10 @@ class CompressDB:
         return len(data)
 
     @transactional
-    def truncate(self, path: str, size: int) -> None:
+    def truncate(self, path: str, size: int, *, session=None) -> None:
         """Grow (zero-fill) or shrink the file to exactly ``size`` bytes."""
+        if session is not None:
+            return session.truncate(path, size)
         inode = self.inode(path)
         if size < 0:
             raise ValueError("size must be non-negative")
@@ -494,13 +564,17 @@ class CompressDB:
         elif size > inode.size:
             self.ops.append(path, b"\x00" * (size - inode.size))
 
-    def read_file(self, path: str) -> bytes:
+    def read_file(self, path: str, *, session=None) -> bytes:
         """Whole-file read convenience."""
+        if session is not None:
+            return session.read_file(path)
         return self.ops.extract(path, 0, self.inode(path).size)
 
     @transactional
-    def write_file(self, path: str, data: bytes) -> None:
+    def write_file(self, path: str, data: bytes, *, session=None) -> None:
         """Create-or-replace a file with ``data``."""
+        if session is not None:
+            return session.write_file(path, data)
         if self.exists(path):
             self.unlink(path)
         self.create(path)
@@ -564,6 +638,8 @@ class CompressDB:
         gauge("engine.memory.blockrefcount_bytes").set(
             report["blockRefCount_bytes"]
         )
+        if self._mvcc is not None:
+            self._mvcc.refresh_gauges()
         return self.obs.registry.snapshot()
 
     # -- remount / durability -----------------------------------------------------------
@@ -688,11 +764,7 @@ class CompressDB:
         device.rebuild_free_list(used)
         # Snapshot-only blocks are as live as inode-held ones: the index
         # must resolve them or dedup would re-store their content.
-        engine.compressor.rebuild_hashtable(
-            itertools.chain(
-                engine.iter_inodes(), engine.snapshots.iter_frozen_inodes()
-            )
-        )
+        engine.compressor.rebuild_hashtable(engine._index_sources())
         return engine
 
     def remount(self) -> int:
@@ -706,9 +778,7 @@ class CompressDB:
         self._flush_pending()
         self.refcount.persist()
         self.refcount.restore()
-        return self.compressor.rebuild_hashtable(
-            itertools.chain(self.iter_inodes(), self.snapshots.iter_frozen_inodes())
-        )
+        return self.compressor.rebuild_hashtable(self._index_sources())
 
     def describe(self, path: str) -> dict[str, object]:
         """Structural summary of one file (for inspection and the CLI)."""
@@ -780,11 +850,16 @@ class CompressDB:
         # snapshot-only block would be "repaired" into oblivion.
         for block_no, held in self.snapshots.block_references().items():
             observed[block_no] = observed.get(block_no, 0) + held
+        # MVCC session pins count toward the combined total ``get()``
+        # reports, but repairs must write back only the durable share.
+        pins = self.refcount.pinned_counts()
+        for block_no, held in pins.items():
+            observed[block_no] = observed.get(block_no, 0) + held
         fixed = 0
         for block_no, expected in observed.items():
             if self.refcount.get(block_no) != expected:
                 if repair:
-                    self.refcount.set(block_no, expected)
+                    self.refcount.set(block_no, expected - pins.get(block_no, 0))
                 fixed += 1
         leaked = 0
         for block_no in self.refcount.live_blocks():
@@ -794,9 +869,7 @@ class CompressDB:
                     self.device.free(block_no)
                 leaked += 1
         holes = self.holes.check_consistency()
-        rebuilt = self.compressor.rebuild_hashtable(
-            itertools.chain(self.iter_inodes(), self.snapshots.iter_frozen_inodes())
-        )
+        rebuilt = self.compressor.rebuild_hashtable(self._index_sources())
         return {
             "refcounts_fixed": fixed,
             "blocks_reclaimed": leaked,
@@ -820,6 +893,8 @@ class CompressDB:
             for slot in inode.iter_slots():
                 observed[slot.block_no] = observed.get(slot.block_no, 0) + 1
         for block_no, held in self.snapshots.block_references().items():
+            observed[block_no] = observed.get(block_no, 0) + held
+        for block_no, held in self.refcount.pinned_counts().items():
             observed[block_no] = observed.get(block_no, 0) + held
         for block_no, expected in observed.items():
             actual = self.refcount.get(block_no)

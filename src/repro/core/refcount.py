@@ -34,23 +34,44 @@ class RefcountUnderflowError(ValueError):
 
 
 class BlockRefCount:
-    """Reference counts for data blocks, persistable to the device."""
+    """Reference counts for data blocks, persistable to the device.
+
+    Two layers share one ``get()`` surface:
+
+    * **durable counts** — references held by inode slot tables and
+      snapshots; serialised into the on-device partition by
+      :meth:`persist`;
+    * **pins** — transient references held by MVCC session snapshots
+      (:mod:`repro.mvcc`).  Pins keep a block alive and force the
+      copy-on-write path (``get() > 1``), but they are memory-only:
+      :meth:`persist` deliberately excludes them, so a crash or remount
+      — where every session dies — recovers to an image whose counts
+      match exactly the durable references, and fsck stays clean.
+    """
 
     def __init__(self, device: BlockDevice) -> None:
         self._device = device
         self._counts: dict[int, int] = {}
+        self._pins: dict[int, int] = {}
         self._partition_blocks: list[int] = []
 
     # -- in-memory operations ---------------------------------------------
     def get(self, block_no: int) -> int:
-        return self._counts.get(block_no, 0)
+        """Durable references plus transient pins — the liveness test."""
+        return self._counts.get(block_no, 0) + self._pins.get(block_no, 0)
 
     def incref(self, block_no: int) -> int:
         count = self._counts.get(block_no, 0) + 1
         self._counts[block_no] = count
-        return count
+        return count + self._pins.get(block_no, 0)
 
     def decref(self, block_no: int) -> int:
+        """Drop one durable reference; returns the combined remainder.
+
+        Underflow is judged on the durable layer alone (pins are not
+        droppable through ``decref``), but the return value includes
+        pins so a pinned block never reads as free.
+        """
         count = self._counts.get(block_no, 0)
         if count <= 0:
             raise RefcountUnderflowError(
@@ -61,7 +82,39 @@ class BlockRefCount:
             del self._counts[block_no]
         else:
             self._counts[block_no] = count
-        return count
+        return count + self._pins.get(block_no, 0)
+
+    # -- transient pins (MVCC snapshot references) --------------------------
+    def pin(self, block_no: int) -> int:
+        """Take one transient pin; returns the combined count."""
+        pins = self._pins.get(block_no, 0) + 1
+        self._pins[block_no] = pins
+        return self._counts.get(block_no, 0) + pins
+
+    def unpin(self, block_no: int) -> int:
+        """Drop one transient pin; returns the combined remainder.
+
+        A return of 0 means the block is now orphaned (no durable
+        reference either) and the caller must free it.
+        """
+        pins = self._pins.get(block_no, 0)
+        if pins <= 0:
+            raise RefcountUnderflowError(
+                f"unpin of unpinned block {block_no}"
+            )
+        pins -= 1
+        if pins == 0:
+            del self._pins[block_no]
+        else:
+            self._pins[block_no] = pins
+        return self._counts.get(block_no, 0) + pins
+
+    def pinned_counts(self) -> dict[int, int]:
+        """block_no -> transient pin count (fsck accounting)."""
+        return dict(self._pins)
+
+    def total_pins(self) -> int:
+        return sum(self._pins.values())
 
     def set(self, block_no: int, count: int) -> None:
         if count < 0:

@@ -1,0 +1,202 @@
+"""Snapshot-isolation checker: validates recorded multi-session histories.
+
+The MVCC driver (:func:`repro.distributed.interleave.run_mvcc_sessions`)
+records one flat, globally-ordered list of :class:`HistoryEvent`s —
+begins, reads (with the bytes actually returned), buffered mutations,
+commits (with the final per-path contents), aborts.  This module replays
+that history against an independent model and reports every violation of
+the snapshot-isolation axioms:
+
+* **reads-from-snapshot** — every read must return exactly the bytes of
+  the newest version committed at or before the session's snapshot CSN,
+  overlaid with the session's own earlier writes (read-your-writes).
+  Dirty reads (bytes from a concurrent uncommitted write) and
+  non-repeatable reads both surface here as a byte mismatch.
+* **no lost updates / first-committer-wins** — a commit whose write set
+  touches a path committed by someone else after this session's
+  snapshot is a lost update; the implementation must have aborted it.
+* **monotone commit order** — commit CSNs are strictly increasing in
+  history order.
+
+The checker is deliberately independent of the engine: it recomputes
+session views with plain byte splicing, so an implementation bug in the
+buffered-write path or the version store shows up as a mismatch rather
+than being replicated on both sides.  Write skew is *allowed* — snapshot
+isolation permits it — so the checker does not reject it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class HistoryEvent:
+    """One entry of the global session history (see module docstring)."""
+
+    seq: int
+    kind: str  # "begin" | "read" | "mutate" | "commit" | "abort"
+    session: int
+    snapshot_csn: Optional[int] = None  # begin
+    path: Optional[str] = None  # read
+    offset: int = 0  # read
+    size: int = 0  # read: requested byte count
+    data: Optional[bytes] = None  # read: bytes actually returned
+    op: Optional[tuple] = None  # mutate: see _apply_op
+    csn: Optional[int] = None  # commit
+    writes: dict[str, Optional[bytes]] = field(default_factory=dict)  # commit
+    reason: str = ""  # abort
+
+
+class _SessionModel:
+    """The checker's independent replay of one session's view."""
+
+    __slots__ = ("snapshot", "overlay")
+
+    def __init__(self, snapshot: int) -> None:
+        self.snapshot = snapshot
+        #: path -> bytes (current buffered content) or None (deleted).
+        self.overlay: dict[str, Optional[bytes]] = {}
+
+
+def _apply_op(model: _SessionModel, op: tuple, view) -> Optional[str]:
+    """Apply one buffered mutation to the session model; returns an
+    anomaly string when the op itself is impossible under the view."""
+    kind = op[0]
+    if kind == "create":
+        __, path = op
+        if view(model, path) is not None:
+            return f"create of {path!r} which already exists in the view"
+        model.overlay[path] = b""
+        return None
+    if kind == "write_file":
+        __, path, content = op
+        model.overlay[path] = bytes(content)
+        return None
+    if kind == "unlink":
+        __, path = op
+        if view(model, path) is None:
+            return f"unlink of {path!r} which is absent in the view"
+        model.overlay[path] = None
+        return None
+    base = view(model, op[1])
+    if base is None:
+        return f"{kind} on {op[1]!r} which is absent in the view"
+    if kind == "write":
+        __, path, offset, data = op
+        grown = bytearray(base)
+        if offset > len(grown):
+            grown.extend(b"\x00" * (offset - len(grown)))
+        grown[offset : offset + len(data)] = data
+        model.overlay[path] = bytes(grown)
+        return None
+    if kind == "truncate":
+        __, path, size = op
+        if size <= len(base):
+            model.overlay[path] = base[:size]
+        else:
+            model.overlay[path] = base + b"\x00" * (size - len(base))
+        return None
+    return f"unknown buffered op {kind!r}"
+
+
+def check_history(
+    events: list[HistoryEvent],
+    initial: Optional[dict[str, bytes]] = None,
+) -> list[str]:
+    """Replay ``events`` and return every snapshot-isolation anomaly.
+
+    ``initial`` is the committed state (path -> content) before the
+    first recorded event, installed as version 0 of each path.  An
+    empty return means the history satisfies snapshot isolation.
+    """
+    anomalies: list[str] = []
+    #: path -> [(csn, content-or-None)], ascending csn; version 0 = initial.
+    versions: dict[str, list[tuple[int, Optional[bytes]]]] = {
+        path: [(0, bytes(content))] for path, content in (initial or {}).items()
+    }
+    sessions: dict[int, _SessionModel] = {}
+    last_csn = 0
+
+    def visible(path: str, snapshot: int) -> Optional[bytes]:
+        best: Optional[tuple[int, Optional[bytes]]] = None
+        for csn, content in versions.get(path, ()):
+            if csn <= snapshot:
+                best = (csn, content)
+        return best[1] if best else None
+
+    def view(model: _SessionModel, path: str) -> Optional[bytes]:
+        if path in model.overlay:
+            return model.overlay[path]
+        return visible(path, model.snapshot)
+
+    for ev in sorted(events, key=lambda e: e.seq):
+        tag = f"s{ev.session} seq {ev.seq}"
+        if ev.kind == "begin":
+            snapshot = ev.snapshot_csn if ev.snapshot_csn is not None else 0
+            if snapshot > last_csn:
+                anomalies.append(
+                    f"{tag}: snapshot csn {snapshot} is in the future "
+                    f"(last committed csn is {last_csn})"
+                )
+            sessions[ev.session] = _SessionModel(snapshot)
+            continue
+        model = sessions.get(ev.session)
+        if model is None:
+            if ev.kind in ("read", "mutate", "commit"):
+                anomalies.append(f"{tag}: {ev.kind} without an active begin")
+            continue
+        if ev.kind == "mutate":
+            problem = _apply_op(model, ev.op, view)
+            if problem:
+                anomalies.append(f"{tag}: {problem}")
+        elif ev.kind == "read":
+            expected_file = view(model, ev.path)
+            if expected_file is None:
+                anomalies.append(
+                    f"{tag}: read of {ev.path!r} which is absent in its "
+                    "snapshot view"
+                )
+                continue
+            expected = expected_file[ev.offset : ev.offset + ev.size]
+            if ev.data != expected:
+                anomalies.append(
+                    f"{tag}: read of {ev.path!r} [{ev.offset}:+{ev.size}] "
+                    f"returned {ev.data!r}, snapshot view holds {expected!r}"
+                    " — dirty or non-repeatable read"
+                )
+        elif ev.kind == "commit":
+            sessions.pop(ev.session, None)
+            if not ev.writes:
+                continue  # read-only commit: creates no version
+            if ev.csn is None or ev.csn <= last_csn:
+                anomalies.append(
+                    f"{tag}: commit csn {ev.csn} is not strictly greater "
+                    f"than the last committed csn {last_csn}"
+                )
+            else:
+                last_csn = ev.csn
+            for path in sorted(ev.writes):
+                existing = versions.get(path)
+                if existing and existing[-1][0] > model.snapshot:
+                    anomalies.append(
+                        f"{tag}: lost update on {path!r} — committed at csn "
+                        f"{ev.csn} over version csn {existing[-1][0]} created "
+                        f"after its snapshot {model.snapshot} "
+                        "(first-committer-wins should have aborted it)"
+                    )
+            for path, content in ev.writes.items():
+                recorded = content if content is None else bytes(content)
+                replayed = model.overlay.get(path, b"\x00<unreplayed>")
+                if path in model.overlay and replayed != recorded:
+                    anomalies.append(
+                        f"{tag}: committed content of {path!r} does not "
+                        "match the replay of its buffered mutations"
+                    )
+                versions.setdefault(path, []).append(
+                    (ev.csn if ev.csn is not None else last_csn, recorded)
+                )
+        elif ev.kind == "abort":
+            sessions.pop(ev.session, None)
+    return anomalies

@@ -1,0 +1,124 @@
+"""VersionStore: commit sequence numbers and retained pre-images.
+
+The engine itself holds only the *latest* state of each file.  Snapshot
+isolation needs two more things, both owned by this module:
+
+* a monotone **commit sequence number** (CSN) and, per path, the CSN of
+  the last committed write — the input to first-committer-wins conflict
+  detection (a session whose snapshot predates ``last_committed(path)``
+  must abort rather than overwrite);
+* **retained pre-images**: when a committer is about to overwrite a
+  path some concurrent session may still need to read, the old content
+  is frozen (an O(metadata) :class:`~repro.snap.record.FrozenInode`
+  whose data blocks are pinned in the refcount overlay) and retained
+  with a validity window ``[created_csn, superseded_csn)``.  A reader
+  with snapshot ``s`` sees the retained version iff
+  ``created_csn <= s < superseded_csn``; once no active session's
+  snapshot falls inside the window, :meth:`prune` drops it and the
+  caller unpins its blocks.
+
+The store is pure bookkeeping — it never touches the device.  Pinning
+and unpinning are the :class:`~repro.mvcc.manager.SessionManager`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.snap.record import FrozenInode
+
+
+@dataclass
+class RetainedVersion:
+    """A frozen pre-image valid for snapshots in [created, superseded)."""
+
+    path: str
+    created_csn: int
+    superseded_csn: int
+    frozen: FrozenInode
+
+    def visible_to(self, snapshot_csn: int) -> bool:
+        return self.created_csn <= snapshot_csn < self.superseded_csn
+
+
+class VersionStore:
+    """CSN allocation, per-path commit watermarks, retained pre-images."""
+
+    def __init__(self) -> None:
+        self.csn = 0
+        self._last_committed: dict[str, int] = {}
+        self._retained: dict[str, list[RetainedVersion]] = {}
+
+    # -- commit sequence numbers --------------------------------------------
+    def next_csn(self) -> int:
+        self.csn += 1
+        return self.csn
+
+    def last_committed(self, path: str) -> int:
+        """CSN of the last committed write to ``path`` (0 = never)."""
+        return self._last_committed.get(path, 0)
+
+    def record_commit(self, paths: Iterable[str], csn: int) -> None:
+        for path in paths:
+            self._last_committed[path] = csn
+
+    def paths_newer_than(self, snapshot_csn: int, paths: Iterable[str]) -> list[str]:
+        """The subset of ``paths`` committed after ``snapshot_csn``."""
+        return sorted(
+            path
+            for path in paths
+            if self._last_committed.get(path, 0) > snapshot_csn
+        )
+
+    # -- retained pre-images ------------------------------------------------
+    def retain(
+        self,
+        path: str,
+        created_csn: int,
+        superseded_csn: int,
+        frozen: FrozenInode,
+    ) -> None:
+        self._retained.setdefault(path, []).append(
+            RetainedVersion(path, created_csn, superseded_csn, frozen)
+        )
+
+    def visible_retained(
+        self, path: str, snapshot_csn: int
+    ) -> Optional[RetainedVersion]:
+        for version in self._retained.get(path, ()):
+            if version.visible_to(snapshot_csn):
+                return version
+        return None
+
+    def iter_retained(self) -> Iterator[RetainedVersion]:
+        for versions in self._retained.values():
+            yield from versions
+
+    def retained_count(self) -> int:
+        return sum(len(versions) for versions in self._retained.values())
+
+    def prune(self, min_active_snapshot: Optional[int]) -> list[RetainedVersion]:
+        """Drop versions no active snapshot can see; returns the dropped.
+
+        ``min_active_snapshot`` is the smallest snapshot CSN among live
+        sessions, or ``None`` when no session is active (drop all).  A
+        version stays only while some snapshot may still fall inside its
+        window, i.e. ``superseded_csn > min_active_snapshot``.
+        """
+        dropped: list[RetainedVersion] = []
+        for path in list(self._retained):
+            keep: list[RetainedVersion] = []
+            for version in self._retained[path]:
+                if (
+                    min_active_snapshot is not None
+                    and version.superseded_csn > min_active_snapshot
+                ):
+                    keep.append(version)
+                else:
+                    dropped.append(version)
+            if keep:
+                self._retained[path] = keep
+            else:
+                del self._retained[path]
+        return dropped

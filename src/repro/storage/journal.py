@@ -95,10 +95,20 @@ def transactional(method: _Method) -> _Method:
     point — ``fsync``/``flush``, ``close``, or the outermost explicit
     ``engine.transaction()`` exit — never partway through the method.
     TXN001 accepts this decorator as proof of transaction scope.
+
+    When the call carries a ``session`` keyword (an MVCC session), the
+    method routes the mutation into that session's private buffers
+    instead of the engine, so the unit of atomicity is the *session
+    commit*: the wrapper enters the session's transaction scope (which
+    asserts the session is still open) rather than the engine's.
     """
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
+        session = kwargs.get("session")
+        if session is not None:
+            with session.txn_scope():
+                return method(self, *args, **kwargs)
         scope = getattr(self, "_txn_scope", None)
         if scope is None:
             scope = self.engine._txn_scope
@@ -300,6 +310,21 @@ class JournalDevice(DeviceWrapper):
         self._c_fresh_blocks = registry.counter("journal.fresh_blocks")
         self._c_overwrite_blocks = registry.counter("journal.overwrite_blocks")
         self._c_deferred_frees = registry.counter("journal.deferred_frees")
+        #: Group-commit durability callbacks: each waiter is called with
+        #: the LSN of the last durable epoch after the next commit.
+        self._ack_waiters: list = []
+
+    def enqueue_ack(self, callback) -> None:
+        """Register a durability callback for the next :meth:`commit`.
+
+        The mechanism behind MVCC group commit: N committed sessions
+        enqueue their tickets, one 4-phase commit sequence publishes
+        all their staged mutations, and every callback receives the
+        same shared LSN — durability acked per session, amortized over
+        the batch.
+        """
+        with self._commit_lock:
+            self._ack_waiters.append(callback)
 
     @property
     def in_transaction(self) -> bool:
@@ -353,7 +378,17 @@ class JournalDevice(DeviceWrapper):
         individually crash-safe.
         """
         with self._commit_lock:
-            return self._commit_locked()
+            written = self._commit_locked()
+            if self._ack_waiters:
+                # Everything staged before this point is now durable —
+                # including the case of an empty transaction, where an
+                # earlier commit already published it.  ``lsn`` is the
+                # *next* epoch, so the durable one is its predecessor.
+                waiters, self._ack_waiters = self._ack_waiters, []
+                durable_lsn = self.lsn - 1
+                for callback in waiters:
+                    callback(durable_lsn)
+            return written
 
     def _commit_locked(self) -> int:
         txn = self.txn

@@ -429,6 +429,82 @@ class TestChunkServerRestart:
 
 
 # ---------------------------------------------------------------------------
+# Group-commit crash points: one journal sequence covers N sessions
+# ---------------------------------------------------------------------------
+
+
+class TestGroupCommitCrashMatrix:
+    """Kill the device at every write during an MVCC group commit.
+
+    Four sessions commit into one group and flush once — a single
+    journal commit sequence.  For every crash point the remounted image
+    must pass a clean fsck and hold either *none* of the sessions'
+    writes or *all* of them: the batch is atomic as a unit, so no crash
+    may surface a prefix of the group.
+    """
+
+    PAYLOADS = [
+        (f"/writer-{index}", f"session {index} payload ".encode() * 20)
+        for index in range(4)
+    ]
+
+    def _apply_group(self, engine):
+        sessions = [engine.mvcc.begin() for __ in self.PAYLOADS]
+        for session, (path, data) in zip(sessions, self.PAYLOADS):
+            session.create(path)
+            session.write(path, 0, data)
+        tickets = [session.commit() for session in sessions]
+        engine.mvcc.flush_group()
+        return tickets
+
+    def _images(self, template):
+        device = copy.deepcopy(template)
+        engine = CompressDB.mount(device)
+        pre = _engine_state(engine)
+        tickets = self._apply_group(engine)
+        post = _engine_state(engine)
+        assert all(ticket.durable for ticket in tickets)
+        assert len({ticket.lsn for ticket in tickets}) <= 1
+        return pre, post
+
+    def _sweep(self, tear):
+        template = _journaled_template()
+        pre, post = self._images(template)
+        assert pre != post
+        crash_points = 0
+        k = 1
+        while True:
+            device = copy.deepcopy(template)
+            wrapped = CrashPointDevice(device, crash_after=k, tear=tear)
+            finished = False
+            try:
+                engine = CompressDB.mount(wrapped)
+                self._apply_group(engine)
+                finished = True
+            except CrashPoint:
+                pass
+            if finished:
+                break
+            recovered = CompressDB.mount(device)
+            state = _engine_state(recovered)
+            _assert_clean(recovered)
+            assert state == pre or state == post, (
+                f"crash at write {k}: recovered a partial group commit — "
+                f"{sorted(state)} is neither all four sessions nor none"
+            )
+            crash_points += 1
+            k += 1
+        assert crash_points > 10
+        return crash_points
+
+    def test_every_group_commit_crash_point_is_all_or_nothing(self):
+        self._sweep(tear=False)
+
+    def test_torn_write_inside_the_group_batch_discards_it_whole(self):
+        self._sweep(tear=True)
+
+
+# ---------------------------------------------------------------------------
 # Snapshot crash points: every snapshot mutation commits atomically
 # ---------------------------------------------------------------------------
 
