@@ -50,7 +50,7 @@ _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 _WITH_NODES = (ast.With, ast.AsyncWith)
 
 #: Packages whose state the MVCC arc will share across sessions.
-_SCOPE_PREFIXES = ("repro.distributed", "repro.storage", "repro.core")
+_SCOPE_PREFIXES = ("repro.distributed", "repro.storage", "repro.core", "repro.serving")
 
 #: Method tails that mutate their receiver in place.
 _MUTATOR_METHOD_TAILS = frozenset(

@@ -48,7 +48,9 @@ LAYER_RANKS = {
     "repro.distributed": 3,
     "repro.workloads": 3,
     "repro.bench": 4,
-    "repro.cli": 4,
+    "repro.serving": 4,
+    "repro.api": 5,
+    "repro.cli": 5,
 }
 
 #: Packages restricted to the public engine surface.

@@ -31,6 +31,11 @@ from repro.analysis.framework import Checker, FileContext, register
 #: always innermost, so engine-level commits can run under any cluster
 #: lock but never the reverse.
 LOCK_TIERS = (
+    # "serving" must come before "server": matching is first-keyword-
+    # wins and every serving-layer lock name contains "serv".  The
+    # serving tier sits BELOW the cluster tiers (rank -1): the request
+    # dispatch lock is held around engine calls that take inode locks.
+    ("serving", -1),
     ("master", 0),
     ("chunk", 1),
     ("server", 1),

@@ -41,7 +41,7 @@ from repro.analysis.symbols import call_tail
 #: Calls that take ownership of a counted block number.
 TRANSFER_TAILS = frozenset({"append_slot", "insert_slot", "replace_slot"})
 
-_SCOPES = ("repro.core.", "repro.fs.", "repro.snap.")
+_SCOPES = ("repro.core.", "repro.fs.", "repro.snap.", "repro.serving.")
 
 
 def _is_incref(call: ast.Call) -> bool:

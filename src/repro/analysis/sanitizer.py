@@ -42,7 +42,18 @@ from contextlib import contextmanager
 #: the runtime side has no import-time dependency on the AST machinery).
 #: ``inode`` is the engine-level MVCC tier below the cluster locks:
 #: per-inode write locks taken during session commit.
-_TIERS = (("master", 0), ("chunk", 1), ("server", 1), ("client", 2), ("inode", 3))
+#: "serving" precedes "server" because matching is first-keyword-wins
+#: and serving-layer lock names contain both substrings.  Rank -1 puts
+#: the serving dispatch lock below every cluster/engine tier: it is
+#: held across engine calls that take inode locks.
+_TIERS = (
+    ("serving", -1),
+    ("master", 0),
+    ("chunk", 1),
+    ("server", 1),
+    ("client", 2),
+    ("inode", 3),
+)
 
 
 def rank_of(order_key: str) -> Optional[int]:
@@ -280,7 +291,7 @@ def check_agreement(
         rank = rank_of(key)
         if rank is None:
             return key
-        return {0: "master", 1: "chunk", 2: "client", 3: "inode"}[rank]
+        return {-1: "serving", 0: "master", 1: "chunk", 2: "client", 3: "inode"}[rank]
 
     def normalize(edges: Sequence[tuple[str, str]]) -> set[tuple[str, str]]:
         return {
@@ -296,7 +307,7 @@ def check_agreement(
         for outer, inner in sorted(observed_norm)
         if (inner, outer) in static_norm
     ]
-    tier_rank = {"master": 0, "chunk": 1, "client": 2, "inode": 3}
+    tier_rank = {"serving": -1, "master": 0, "chunk": 1, "client": 2, "inode": 3}
     problems += [
         f"observed edge {outer!r} -> {inner!r} inverts the declared tier order"
         for outer, inner in sorted(observed_norm)

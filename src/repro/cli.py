@@ -464,22 +464,72 @@ def cmd_snap(args) -> int:
         raise
 
 
-def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
-    engine = _mount(args.image)
-    server = SocketServer(engine, args.socket)
-    server.start()
-    print(f"serving {args.image} on {args.socket}; Ctrl-C to stop")
-    try:
-        import time
+def _serving_stack(engine: CompressDB, args):
+    """The framed-protocol server stack ``compressdb serve`` runs.
 
-        while True:
-            time.sleep(1)
-    except KeyboardInterrupt:
-        pass
+    Split from :func:`cmd_serve` so tests can exercise the wiring (tenant
+    provisioning, admission config, socket front end) without the
+    interactive sleep loop.
+    """
+    from repro.serving.server import Server, ServerConfig, TenantConfig
+    from repro.serving.transport import FramedSocketServer
+
+    config = ServerConfig(
+        admission=not args.no_admission,
+        default_rate_per_s=args.rate,
+    )
+    server = Server(engine=engine, config=config)
+    for spec in args.tenant or ():
+        # ``name`` or ``name:weight``, e.g. ``--tenant gold:4``.
+        name, sep, weight = spec.partition(":")
+        if not name:
+            raise CLIError(f"invalid --tenant spec: {spec!r}")
+        try:
+            server.add_tenant(
+                TenantConfig(name=name, weight=float(weight) if sep else 1.0)
+            )
+        except ValueError as exc:
+            raise CLIError(f"invalid --tenant spec: {spec!r}") from exc
+    # With no pre-provisioned tenants the socket auto-provisions on the
+    # first HELLO — the single-user convenience mode.
+    front = FramedSocketServer(
+        server, args.socket, auto_provision=not args.tenant
+    )
+    return server, front
+
+
+def cmd_serve(args) -> int:
+    engine = _mount(args.image)
+    try:
+        if args.legacy_json:  # pragma: no cover - interactive loop
+            server = SocketServer(engine, args.socket)
+            server.start()
+            print(f"serving {args.image} on {args.socket} (legacy json); Ctrl-C to stop")
+            try:
+                import time
+
+                while True:
+                    time.sleep(1)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+            return 0
+        __, front = _serving_stack(engine, args)
+        front.start()
+        print(f"serving {args.image} on {args.socket} (protocol v1); Ctrl-C to stop")
+        try:  # pragma: no cover - interactive loop
+            import time
+
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive loop
+            pass
+        finally:
+            front.stop()
+        return 0
     finally:
-        server.stop()
         _close(engine, flush=True)
-    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -694,9 +744,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.set_defaults(func=cmd_snap)
 
-    p = sub.add_parser("serve", help="expose the image on a unix socket")
+    p = sub.add_parser(
+        "serve", help="expose the image on a unix socket (framed protocol v1)"
+    )
     p.add_argument("image")
     p.add_argument("socket")
+    p.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME[:WEIGHT]",
+        help="pre-provision a tenant (repeatable); omit to auto-provision "
+        "tenants on their first HELLO",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-tenant admission rate in requests/s (default: unlimited)",
+    )
+    p.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="disable admission control (accept everything, queue unboundedly)",
+    )
+    p.add_argument(
+        "--legacy-json",
+        action="store_true",
+        help="serve the deprecated line-oriented JSON protocol instead",
+    )
     p.set_defaults(func=cmd_serve)
 
     return parser

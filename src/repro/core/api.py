@@ -12,6 +12,13 @@ unix sockets.  This module provides both forms:
 
 Binary payloads are hex-encoded inside the JSON envelope so the
 protocol stays self-describing and debuggable.
+
+.. deprecated::
+    These entry points are superseded by :func:`repro.api.connect`
+    (one client interface, in-process or over the serving layer's
+    binary protocol) and :class:`repro.serving.Server`.  They keep
+    working — the databases and existing scripts still route through
+    :class:`DirectAPI` — but new code should use the facade.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import os
 import socket
 import struct
 import threading
+import warnings
 from typing import Optional
 
 from repro.core.engine import CompressDB
@@ -28,14 +36,29 @@ from repro.core.engine import CompressDB
 _LENGTH = struct.Struct("<I")
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class APIError(Exception):
     """Raised by the client when the server reports a failure."""
 
 
 class DirectAPI:
-    """In-process facade over the pushdown operations of one engine."""
+    """In-process facade over the pushdown operations of one engine.
 
-    def __init__(self, engine: CompressDB) -> None:
+    Deprecated for *new* code in favour of :func:`repro.api.connect`;
+    internal callers (the databases' pushdown path, the socket server)
+    construct it with ``_warn=False`` and stay silent.
+    """
+
+    def __init__(self, engine: CompressDB, _warn: bool = True) -> None:
+        if _warn:
+            _deprecated("repro.core.api.DirectAPI", "repro.api.connect()")
         self._engine = engine
 
     def insert(self, path: str, offset: int, data: bytes) -> None:
@@ -89,7 +112,11 @@ class SocketServer:
     """Serves one engine's pushdown operations on a unix socket."""
 
     def __init__(self, engine: CompressDB, socket_path: str) -> None:
-        self._api = DirectAPI(engine)
+        _deprecated(
+            "repro.core.api.SocketServer",
+            "repro.serving.Server with the framed protocol",
+        )
+        self._api = DirectAPI(engine, _warn=False)
         self.socket_path = socket_path
         self._sock: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
@@ -197,6 +224,10 @@ class SocketClient:
     """Client for :class:`SocketServer`'s length-prefixed JSON protocol."""
 
     def __init__(self, socket_path: str) -> None:
+        _deprecated(
+            "repro.core.api.SocketClient",
+            "repro.api.connect() over a repro.serving.Server",
+        )
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.connect(socket_path)
 

@@ -1,4 +1,20 @@
-"""Errno-style exception hierarchy for the file-system layer."""
+"""Errno-style exception hierarchy for the file-system layer.
+
+Besides the exception classes, this module owns the **wire code
+table** (:data:`WIRE_CODES`): the stable errno-style integers the
+serving layer's protocol v1 uses to report failures to remote clients.
+Every exception that may cross the client boundary — VFS errors, MVCC
+conflicts, database statement failures, quota and admission-control
+rejections, protocol violations — maps to exactly one code.
+
+The table is part of the wire format: codes are literal integers (NOT
+``errno`` module lookups, whose values differ across platforms) and a
+golden test pins the serialized table byte-for-byte so protocol v1
+stays compatible.  Exceptions defined in higher layers (for example
+:class:`repro.mvcc.session.WriteConflict`) are matched *by class name*
+along the MRO, which keeps this module importable from anywhere
+without inverting the layer cake.
+"""
 
 from __future__ import annotations
 
@@ -48,3 +64,91 @@ class IsBusy(FSError):
     """Resource busy: file still has open descriptors (EBUSY)."""
 
     errno_code = errno.EBUSY
+
+
+class TryAgain(FSError):
+    """Resource temporarily unavailable — retry later (EAGAIN).
+
+    The admission controller's shed signal: the request was *not*
+    executed and may be retried after ``retry_after_ms`` milliseconds.
+    Carrying the hint in the exception keeps overload behaviour
+    graceful — clients back off instead of hammering a full queue.
+    """
+
+    errno_code = errno.EAGAIN
+
+    def __init__(self, message: str = "", retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class QuotaExceeded(FSError):
+    """Tenant quota exhausted: bytes, inodes, or descriptors (EDQUOT)."""
+
+    errno_code = getattr(errno, "EDQUOT", 122)
+
+
+# ---------------------------------------------------------------------------
+# Protocol v1 wire codes
+# ---------------------------------------------------------------------------
+
+#: Wire protocol revision the code table below belongs to.  Bump only
+#: with a new protocol version; existing codes may never be renumbered.
+WIRE_PROTOCOL_VERSION = 1
+
+#: Exception class name -> stable wire code (errno-flavoured literals;
+#: values are frozen by ``tests/goldens/wire_codes.json``).  ``mro``
+#: matching means subclasses inherit their nearest listed ancestor's
+#: code: ``TableError`` -> ``DatabaseError``, ``BadMagic`` ->
+#: ``ProtocolError``, and so on.
+WIRE_CODES: dict[str, int] = {
+    "OK": 0,
+    "PermissionDenied": 1,
+    "FileNotFound": 2,
+    "FSError": 5,
+    "BadFileDescriptor": 9,
+    "TryAgain": 11,
+    "IsBusy": 16,
+    "FileExists": 17,
+    "InvalidArgument": 22,
+    "WriteConflict": 35,
+    "UnknownOpcode": 38,
+    "DatabaseError": 52,
+    "ProtocolError": 71,
+    "ChecksumError": 74,
+    "SessionClosed": 116,
+    "QuotaExceeded": 122,
+}
+
+#: Reverse view for clients turning codes back into exceptions.  The
+#: table is injective (asserted by the golden test), so the round trip
+#: is unambiguous.
+WIRE_CODE_NAMES: dict[int, str] = {code: name for name, code in WIRE_CODES.items()}
+
+
+def wire_code(exc: BaseException) -> int:
+    """The stable wire code for ``exc``.
+
+    Walks the exception's MRO and returns the code of the first class
+    whose *name* appears in :data:`WIRE_CODES`; unknown exceptions
+    degrade to the generic ``FSError`` (EIO) code so nothing crossing
+    the boundary is ever unclassifiable.
+    """
+    for klass in type(exc).__mro__:
+        code = WIRE_CODES.get(klass.__name__)
+        if code is not None:
+            return code
+    return WIRE_CODES["FSError"]
+
+
+def wire_error_payload(exc: BaseException) -> dict:
+    """The error body shipped in an error response frame."""
+    payload: dict = {
+        "code": wire_code(exc),
+        "error": WIRE_CODE_NAMES[wire_code(exc)],
+        "message": str(exc),
+    }
+    retry_after = getattr(exc, "retry_after_ms", None)
+    if retry_after is not None:
+        payload["retry_after_ms"] = float(retry_after)
+    return payload

@@ -227,6 +227,33 @@ class HistogramSnapshot:
             count=self.count + other.count,
         )
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the covering bucket (lower edge 0
+        for the first); the overflow bucket has no upper edge, so its
+        estimate is the last finite bound — a deliberate *floor* that
+        still flags SLO misses without inventing a magnitude.  This is
+        the Prometheus ``histogram_quantile`` estimator, which is what
+        the serving layer's p50/p95/p99 SLO tracking reports.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if seen + bucket_count >= target and bucket_count > 0:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                within = (target - seen) / bucket_count
+                return lower + (upper - lower) * within
+            seen += bucket_count
+        return self.bounds[-1]
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:

@@ -1,0 +1,245 @@
+"""Admission control and weighted fair-share scheduling.
+
+Two cooperating mechanisms keep the serving layer stable under
+overload (DESIGN.md §14):
+
+* :class:`TokenBucket` — per-tenant rate limiting.  Each tenant's
+  bucket refills at its provisioned request rate (by default its
+  weighted share of the server's estimated capacity); a request that
+  finds no token is **shed** with a ``TryAgain`` carrying the exact
+  time until the bucket refills, so well-behaved clients back off
+  instead of retry-storming.
+
+* :class:`DeficitRoundRobin` — weighted fair-share scheduling across
+  per-tenant queues.  Each tenant accrues deficit in units of
+  estimated service seconds proportionally to its weight and spends it
+  to dequeue requests, so a tenant flooding the server cannot push
+  another tenant below its fair share; per-tenant EWMA service-cost
+  estimates keep the deficit currency honest when tenants issue
+  different-sized requests.
+
+:class:`AdmissionController` combines the buckets with two queue
+bounds — a per-tenant depth cap and a global *delay* bound (total
+queued estimated cost) — so the accepted-request latency stays within
+a configured multiple of the uncontended latency no matter how far
+offered load exceeds capacity.  Rejections are cheap and explicit
+(EAGAIN + retry-after), which is what "degrades gracefully" means: the
+overloaded server keeps serving at capacity instead of collapsing
+under unbounded queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TokenBucket:
+    """The classic leaky-bucket rate limiter in simulated time."""
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+            )
+            self._stamp = now
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available."""
+        self._refill(now)
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_per_s
+
+
+@dataclass
+class _TenantLane:
+    """One tenant's queue plus its DRR accounting."""
+
+    name: str
+    weight: float = 1.0
+    queue: deque = field(default_factory=deque)
+    deficit: float = 0.0
+    #: EWMA of observed service cost (seconds); the deficit currency.
+    cost_estimate: float = 1e-4
+    enqueued: int = 0
+    dequeued: int = 0
+
+    @property
+    def queued_cost(self) -> float:
+        return len(self.queue) * self.cost_estimate
+
+
+class DeficitRoundRobin:
+    """Weighted deficit round-robin over per-tenant lanes."""
+
+    #: EWMA smoothing for per-tenant service-cost estimates.
+    COST_ALPHA = 0.2
+
+    def __init__(self, quantum_s: Optional[float] = None) -> None:
+        #: Deficit granted per tenant per rotation, in estimated-cost
+        #: seconds.  ``None`` adapts to the mean cost estimate so one
+        #: rotation grants roughly one request per unit weight.
+        self._quantum = quantum_s
+        self._lanes: dict[str, _TenantLane] = {}
+        self._active: deque[str] = deque()
+
+    def lane(self, tenant: str, weight: float = 1.0) -> _TenantLane:
+        found = self._lanes.get(tenant)
+        if found is None:
+            found = self._lanes[tenant] = _TenantLane(tenant, weight=weight)
+        return found
+
+    def enqueue(self, tenant: str, item: object) -> None:
+        lane = self.lane(tenant)
+        if not lane.queue:
+            self._active.append(tenant)
+        lane.queue.append(item)
+        lane.enqueued += 1
+
+    def queued(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self.lane(tenant).queue)
+        return sum(len(lane.queue) for lane in self._lanes.values())
+
+    def queued_cost(self) -> float:
+        """Total estimated service seconds sitting in the queues."""
+        return sum(lane.queued_cost for lane in self._lanes.values())
+
+    def _effective_quantum(self) -> float:
+        if self._quantum is not None:
+            return self._quantum
+        busy = [lane for lane in self._lanes.values() if lane.queue]
+        if not busy:
+            return 1e-4
+        return sum(lane.cost_estimate for lane in busy) / len(busy)
+
+    def next(self) -> Optional[tuple[str, object]]:
+        """Dequeue the next request in weighted fair-share order."""
+        quantum = self._effective_quantum()
+        # Each full rotation strictly increases every active lane's
+        # deficit, so the loop terminates as soon as any lane can
+        # afford its head request.
+        for __ in range(8 * max(1, len(self._active)) + 8):
+            if not self._active:
+                return None
+            name = self._active[0]
+            lane = self._lanes[name]
+            if not lane.queue:
+                # Lane drained since it was queued for a turn: classic
+                # DRR zeroes the deficit so idleness earns no credit.
+                self._active.popleft()
+                lane.deficit = 0.0
+                continue
+            if lane.deficit < lane.cost_estimate:
+                lane.deficit += quantum * lane.weight
+                self._active.rotate(-1)
+                continue
+            lane.deficit -= lane.cost_estimate
+            item = lane.queue.popleft()
+            lane.dequeued += 1
+            if not lane.queue:
+                self._active.popleft()
+                lane.deficit = 0.0
+            return name, item
+        # Pathological weights (all ~0) could stall accrual; serve
+        # strictly round-robin rather than spin.
+        name = self._active[0]
+        lane = self._lanes[name]
+        item = lane.queue.popleft()
+        lane.dequeued += 1
+        if not lane.queue:
+            self._active.popleft()
+            lane.deficit = 0.0
+        return name, item
+
+    def observe_cost(self, tenant: str, cost_s: float) -> None:
+        """Feed the measured service time back into the estimate."""
+        lane = self.lane(tenant)
+        alpha = self.COST_ALPHA
+        lane.cost_estimate = (1 - alpha) * lane.cost_estimate + alpha * max(
+            cost_s, 1e-9
+        )
+
+
+@dataclass(frozen=True)
+class Shed:
+    """An admission rejection: why, and when to retry."""
+
+    reason: str
+    retry_after_s: float
+
+
+class AdmissionController:
+    """Token buckets + queue bounds; see the module docstring."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        per_tenant_queue_limit: int = 64,
+        max_queue_delay_s: Optional[float] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.per_tenant_queue_limit = per_tenant_queue_limit
+        self.max_queue_delay_s = max_queue_delay_s
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def configure_tenant(self, tenant: str, rate_per_s: float, burst: float) -> None:
+        self._buckets[tenant] = TokenBucket(rate_per_s, burst)
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        return self._buckets.get(tenant)
+
+    def admit(
+        self,
+        tenant: str,
+        now: float,
+        tenant_queued: int,
+        queued_cost_s: float,
+    ) -> Optional[Shed]:
+        """``None`` admits the request; a :class:`Shed` rejects it."""
+        if not self.enabled:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_take(now):
+            return Shed(
+                reason=f"tenant {tenant!r} over its provisioned rate",
+                retry_after_s=bucket.retry_after(now),
+            )
+        if tenant_queued >= self.per_tenant_queue_limit:
+            return Shed(
+                reason=f"tenant {tenant!r} queue full ({tenant_queued})",
+                retry_after_s=queued_cost_s
+                / max(1, len(self._buckets) or 1),
+            )
+        if (
+            self.max_queue_delay_s is not None
+            and queued_cost_s > self.max_queue_delay_s
+        ):
+            return Shed(
+                reason=(
+                    f"server queue delay {queued_cost_s * 1e3:.2f} ms over "
+                    f"the {self.max_queue_delay_s * 1e3:.2f} ms bound"
+                ),
+                retry_after_s=queued_cost_s - self.max_queue_delay_s,
+            )
+        return None

@@ -25,7 +25,14 @@ from repro.workloads.querygen import (
     zipf_rank,
 )
 from repro.workloads.ycsb import PROFILES as YCSB_PROFILES
-from repro.workloads.ycsb import YCSBGenerator, YCSBOp, YCSBProfile, run_ycsb
+from repro.workloads.ycsb import (
+    TimedOp,
+    YCSBGenerator,
+    YCSBOp,
+    YCSBProfile,
+    open_loop_arrivals,
+    run_ycsb,
+)
 
 __all__ = [
     "DATASET_SPECS",
@@ -40,6 +47,7 @@ __all__ = [
     "ReadOp",
     "STRUCTURED_DATASETS",
     "ThroughputResult",
+    "TimedOp",
     "WriteOp",
     "YCSBGenerator",
     "YCSBOp",
@@ -49,6 +57,7 @@ __all__ = [
     "run_ycsb",
     "generate_dataset",
     "generate_redundancy_sweep",
+    "open_loop_arrivals",
     "percentile",
     "run_fileserver",
     "structured_rows",

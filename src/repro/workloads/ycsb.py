@@ -117,6 +117,52 @@ class YCSBGenerator:
         return range(self.record_count)
 
 
+@dataclass(frozen=True)
+class TimedOp:
+    """One open-loop operation: what arrives, and when."""
+
+    arrival_s: float
+    op: YCSBOp
+
+
+def open_loop_arrivals(
+    workload: str,
+    rate_per_s: float,
+    duration_s: float,
+    record_count: int = 1000,
+    max_scan_length: int = 50,
+    seed: int = 7,
+) -> list[TimedOp]:
+    """A Poisson open-loop arrival schedule for one YCSB workload.
+
+    *Open loop* means arrivals do not wait for completions: an
+    overloaded server sees the offered rate regardless of how far
+    behind it falls, which is what exposes queueing collapse (and what
+    admission control must survive).  Inter-arrival gaps are
+    exponential with mean ``1/rate_per_s``, so the counting process is
+    Poisson; the generator is deterministic in ``seed``.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    generator = YCSBGenerator(
+        workload,
+        record_count=record_count,
+        max_scan_length=max_scan_length,
+        seed=seed,
+    )
+    rng = random.Random(f"{seed}-arrivals-{generator.profile.name}")
+    schedule: list[TimedOp] = []
+    now = 0.0
+    ops = generator.operations(count=1 << 62)
+    while True:
+        now += rng.expovariate(rate_per_s)
+        if now >= duration_s:
+            return schedule
+        schedule.append(TimedOp(arrival_s=now, op=next(ops)))
+
+
 def run_ycsb(
     db,
     workload: str,
