@@ -48,6 +48,7 @@ from repro.analysis.sanitizer import (
 # checker to CHECKER_REGISTRY, so the registry is complete as soon as the
 # package is imported (``repro lint --list-rules`` relies on this).
 from repro.analysis import rules_concurrency  # noqa: E402,F401
+from repro.analysis import rules_determinism  # noqa: E402,F401
 from repro.analysis import rules_encoding  # noqa: E402,F401
 from repro.analysis import rules_io  # noqa: E402,F401
 from repro.analysis import rules_layering  # noqa: E402,F401

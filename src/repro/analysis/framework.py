@@ -177,6 +177,7 @@ class Analyzer:
     ) -> None:
         # Import for side effect: the rule modules register themselves.
         from repro.analysis import rules_concurrency  # noqa: F401
+        from repro.analysis import rules_determinism  # noqa: F401
         from repro.analysis import rules_encoding  # noqa: F401
         from repro.analysis import rules_io  # noqa: F401
         from repro.analysis import rules_layering  # noqa: F401

@@ -46,6 +46,9 @@ LAYER_RANKS = {
     "repro.fs": 2,
     "repro.databases": 3,
     "repro.distributed": 3,
+    # Consensus sits beside the distributed tier: raft replicates the
+    # master's state machine, the master group assembles raft nodes.
+    "repro.raft": 3,
     "repro.workloads": 3,
     "repro.bench": 4,
     "repro.serving": 4,

@@ -248,6 +248,16 @@ class TrackedLock:
     def locked(self) -> bool:
         return self._lock.locked()
 
+    def held_by_current_context(self) -> bool:
+        """Whether the calling (thread, session) context holds this lock.
+
+        Lets re-entrant composites (the replicated master group's
+        propose/tick paths) acquire the lock only when the caller does
+        not already own it, instead of deadlocking on a non-reentrant
+        re-acquisition.
+        """
+        return self._owner is not None and self._owner == self._context_key()
+
     def require_held(self) -> None:
         """Assert (when a sanitizer is installed) that the current
         context holds this lock.

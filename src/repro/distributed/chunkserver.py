@@ -11,7 +11,7 @@ not the data.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.analysis.sanitizer import tracked_lock
 from repro.core.engine import CompressDB
@@ -45,8 +45,17 @@ class ChunkServer:
         durable: bool = False,
         journal_blocks: int = 64,
         obs: Optional[Observability] = None,
+        domain: str = "",
     ) -> None:
         self.name = name
+        #: Failure-domain label (rack/zone); an unlabelled server is its
+        #: own domain, so the spread constraint degenerates gracefully.
+        self.domain = domain or name
+        #: The master's placement epoch as of our last registration.
+        self.placement_epoch = 0
+        #: ``(name, domain) -> epoch`` registration callback, installed
+        #: by :meth:`attach_registry` and replayed on :meth:`restart`.
+        self._register_cb: Optional[Callable[[str, str], int]] = None
         self.compressed = compressed
         device = MemoryBlockDevice(
             block_size=block_size,
@@ -101,6 +110,31 @@ class ChunkServer:
             self.fs = CompressFS(engine=engine)
             self._posix_ops = PosixOperations(self.fs)
             self.online = True
+        # A restarted node must not assume its pre-restart placement
+        # view: re-register the failure-domain label and adopt whatever
+        # placement epoch the master (group) hands back.
+        self._reregister()
+
+    def attach_registry(self, register: Callable[[str, str], int]) -> int:
+        """Register with the master and remember the callback for restarts.
+
+        The callback runs *outside* this server's rank-1 lock: it
+        acquires the rank-0 master lock, which may never nest inside a
+        chunk-server lock under the cluster lock order.
+        """
+        epoch = register(self.name, self.domain)
+        with self._lock:
+            self._register_cb = register
+            self.placement_epoch = epoch
+        return epoch
+
+    def _reregister(self) -> None:
+        register = self._register_cb
+        if register is None:
+            return
+        epoch = register(self.name, self.domain)
+        with self._lock:
+            self.placement_epoch = epoch
 
     def _commit(self) -> None:
         """Group-commit hook: durable servers sync after each mutation RPC."""

@@ -165,9 +165,12 @@ class ClusterClient:
                 self._append(path, data)
 
     def _append(self, path: str, data: bytes) -> None:
-        entry = self.master.lookup(path)
         position = 0
         while position < len(data):
+            # Re-resolve the tail each round: under a replicated master
+            # the entry is whichever replica currently leads, and chunk
+            # lengths only change through the command path below.
+            entry = self.master.lookup(path)
             if entry.chunks and entry.chunks[-1].length < self.master.chunk_capacity:
                 chunk = entry.chunks[-1]
             else:
@@ -180,7 +183,7 @@ class ClusterClient:
             for server in self._write_servers(chunk):
                 self._charge(len(piece))
                 server.append(chunk.chunk_id, piece)
-            chunk.length += len(piece)
+            self.master.extend_chunk(path, chunk.chunk_id, len(piece))
             position += len(piece)
 
     def read_file(self, path: str) -> bytes:
@@ -217,7 +220,7 @@ class ClusterClient:
             for server in self._write_servers(chunk):
                 self._charge(len(data))
                 server.insert(chunk.chunk_id, within, data)
-            chunk.length += len(data)
+            self.master.extend_chunk(path, chunk.chunk_id, len(data))
 
     def delete(self, path: str, offset: int, length: int) -> None:
         """Delete a byte range; pushdown issues per-chunk local deletes."""
@@ -236,8 +239,8 @@ class ClusterClient:
             for server in self._write_servers(chunk):
                 self._charge(0)
                 server.delete_range(chunk.chunk_id, start, count)
-            chunk.length -= count
-            if chunk.length == 0:
+            remaining = self.master.extend_chunk(path, chunk.chunk_id, -count)
+            if remaining == 0:
                 emptied.append(chunk)
         for chunk in emptied:
             self.master.drop_chunk(path, chunk.chunk_id)
@@ -260,22 +263,20 @@ class ClusterClient:
     def _truncate(self, path: str, size: int) -> None:
         entry = self.master.lookup(path)
         position = 0
-        kept: list = []
-        for chunk in entry.chunks:
+        for chunk in list(entry.chunks):
             if position >= size:
                 for server in self._write_servers(chunk):
                     self._charge(0)
                     server.delete_chunk(chunk.chunk_id)
+                self.master.drop_chunk(path, chunk.chunk_id)
                 continue
             keep = min(chunk.length, size - position)
             if keep < chunk.length:
                 for server in self._write_servers(chunk):
                     self._charge(0)
                     server.truncate(chunk.chunk_id, keep)
-                chunk.length = keep
-            position += chunk.length
-            kept.append(chunk)
-        entry.chunks = kept
+                self.master.set_chunk_length(path, chunk.chunk_id, keep)
+            position += keep
 
     # -- replica maintenance ------------------------------------------------------------------
     def resync(self, server_name: str) -> int:
@@ -410,6 +411,102 @@ class ClusterClient:
                 if changed:
                     repaired += 1
         return repaired, shipped
+
+    # -- membership / rebalancing ------------------------------------------------------------
+    def _register_server(self, name: str, domain: str) -> int:
+        """Registration RPC, callable with or without the master lock
+        held (join runs under it; a chunk-server restart does not)."""
+        self._charge(0)
+        if self.master.lock.held_by_current_context():
+            return self.master.register_server(name, domain)
+        with self.master.lock:
+            return self.master.register_server(name, domain)
+
+    def join_server(self, server: ChunkServer) -> int:
+        """Admit a chunk server into the cluster.
+
+        Registers its name and failure-domain label with the master
+        (every replica of a master group sees the membership change)
+        and attaches the registration callback the server replays on
+        restart.  Returns the placement epoch the server adopted.
+        """
+        with self.obs.tracer.span("client.join", server=server.name), self.master.lock:
+            self.servers[server.name] = server
+            return server.attach_registry(self._register_server)
+
+    def rebalance(self, base_snap: Optional[str] = None) -> tuple[int, int, int]:
+        """Execute the master's placement plan, move by move.
+
+        For each planned ``(path, chunk, src, dst)``: copy the chunk
+        bytes to ``dst`` — as a post-``base_snap`` delta when ``dst``
+        already holds a stale replica and a donor can diff against the
+        snapshot, else as a full copy — then commit the placement via
+        the (replicated) master and drop the source replica.  Returns
+        ``(moves_applied, payload_bytes_shipped, full_copy_bytes)``
+        where the last is what a delta-blind rebalancer would have
+        moved for the same plan.
+        """
+        moves = 0
+        shipped = 0
+        full = 0
+        with self.obs.tracer.span("client.rebalance"), self.master.lock:
+            for path, chunk_id, src, dst in self.master.placement_moves():
+                chunk = self.master.find_chunk(path, chunk_id)
+                target = self.servers[dst]
+                if not target.online:
+                    continue
+                donors = [
+                    self.servers[name]
+                    for name in chunk.servers
+                    if name in self.servers and self.servers[name].online
+                ]
+                if not donors:
+                    continue
+                donor = next((s for s in donors if s.name == src), donors[0])
+                full += chunk.length
+                stale_local = chunk_id in set(target.chunk_ids())
+                if (
+                    base_snap is not None
+                    and stale_local
+                    and donor.compressed
+                    and donor.has_snapshot(base_snap)
+                ):
+                    self._charge(0)  # delta request RPC
+                    length, extents = donor.chunk_delta(chunk_id, base_snap)
+                    if extents:
+                        payload = sum(len(data) for __, data in extents)
+                        self._charge(payload)
+                        shipped += payload
+                        target.writev(
+                            [(chunk_id, offset, data) for offset, data in extents]
+                        )
+                    if target.chunk_length(chunk_id) != length:
+                        target.truncate(chunk_id, length)
+                else:
+                    authoritative = donor.read(chunk_id, 0, chunk.length)
+                    self._charge(len(authoritative))
+                    shipped += len(authoritative)
+                    if not stale_local:
+                        target.create_chunk(chunk_id)
+                    elif target.chunk_length(chunk_id):
+                        target.truncate(chunk_id, 0)
+                    target.write(chunk_id, 0, authoritative)
+                self._charge(0)  # placement-commit RPC to the master
+                self.master.place_chunk(
+                    path,
+                    chunk_id,
+                    [dst if name == src else name for name in chunk.servers],
+                )
+                source = self.servers.get(src)
+                if (
+                    source is not None
+                    and source.online
+                    and chunk_id in set(source.chunk_ids())
+                ):
+                    self._charge(0)
+                    source.delete_chunk(chunk_id)
+                moves += 1
+        return moves, shipped, full
 
     # -- search / count ---------------------------------------------------------------------------
     def search(self, path: str, pattern: bytes) -> list[int]:

@@ -1,9 +1,21 @@
 """The metadata master of the MooseFS-like cluster.
 
 Keeps the file → chunk map (chunk id, owning server, logical length)
-and allocates new chunks round-robin across the servers.  Like the
-MooseFS master, it handles *only* metadata — all data bytes flow
-between clients and chunk servers.
+and allocates new chunks across the servers.  Like the MooseFS master,
+it handles *only* metadata — all data bytes flow between clients and
+chunk servers.
+
+Placement is failure-domain aware: every chunk server carries a domain
+label (rack/zone; a server's own name when unlabelled, which makes the
+spread constraint degenerate to plain least-loaded placement).  Replica
+choice greedily prefers the least-loaded server, breaking ties toward
+domains the chunk does not yet touch and then by name — a fully
+deterministic rule, which matters because under replication
+(:mod:`repro.distributed.replicated`) every mutator here runs as a Raft
+state-machine command that must produce identical results on every
+replica.  For the same reason the mutators take no nondeterministic
+input: time and randomness, where needed (leases), are computed by the
+proposer and passed in as arguments.
 """
 
 from __future__ import annotations
@@ -11,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.analysis.sanitizer import tracked_lock
+from repro.analysis.sanitizer import TrackedLock, tracked_lock
 
 
 class ClusterFileNotFound(Exception):
@@ -60,6 +72,9 @@ class Master:
         server_names: list[str],
         chunk_capacity: int = 64 * 1024,
         replication: int = 1,
+        lock: Optional[TrackedLock] = None,
+        chunk_prefix: str = "c",
+        domains: Optional[dict[str, str]] = None,
     ) -> None:
         if not server_names:
             raise ValueError("a cluster needs at least one chunk server")
@@ -75,10 +90,25 @@ class Master:
         #: composite operations in :class:`ClusterClient` hold it across
         #: the whole multi-RPC mutation, and each mutator declares that
         #: contract with ``require_held()`` (enforced under a sanitizer).
-        self.lock = tracked_lock("master.lock", rank=0)
+        #: A replicated master group passes ONE shared lock to all its
+        #: replicas, so the contract holds on every replica while the
+        #: facade's caller owns the group lock.
+        self.lock = lock if lock is not None else tracked_lock("master.lock", rank=0)
+        #: Prefix of generated chunk ids — shard groups use distinct
+        #: prefixes so ids stay cluster-unique across masters.
+        self.chunk_prefix = chunk_prefix
         self._files: dict[str, FileEntry] = {}
         self._next_chunk = 0
-        self._next_server = 0
+        #: Failure-domain label per server; unlabelled servers are their
+        #: own domain (spread constraint then never binds).
+        self._domains: dict[str, str] = dict(domains or {})
+        #: Replica count per server, maintained by placement decisions.
+        self._server_load: dict[str, int] = {name: 0 for name in server_names}
+        #: Bumped on every membership change; chunk servers compare it
+        #: on (re)registration to learn their placement view is stale.
+        self.placement_epoch = 0
+        #: path -> (holder, expiry in proposer SimClock seconds).
+        self._leases: dict[str, tuple[str, float]] = {}
 
     # -- namespace ---------------------------------------------------------
     def create(self, path: str) -> FileEntry:
@@ -101,6 +131,8 @@ class Master:
     def unlink(self, path: str) -> FileEntry:
         self.lock.require_held()
         entry = self.lookup(path)
+        for chunk in entry.chunks:
+            self._note_placement(chunk.servers, -1)
         del self._files[path]
         return entry
 
@@ -110,31 +142,139 @@ class Master:
     def file_size(self, path: str) -> int:
         return self.lookup(path).size
 
+    # -- membership / failure domains --------------------------------------
+    def domain_of(self, name: str) -> str:
+        """The failure domain of a server (its own name when unlabelled)."""
+        return self._domains.get(name, name)
+
+    def server_domains(self) -> dict[str, str]:
+        """Deterministic name → domain map of the current membership."""
+        return {name: self.domain_of(name) for name in sorted(self.server_names)}
+
+    def register_server(self, name: str, domain: str = "") -> int:
+        """(Re)register a chunk server and its failure-domain label.
+
+        Idempotent for an already-known server (labels may still be
+        updated).  Returns the placement epoch the server must adopt —
+        its pre-restart view of placements is stale beyond this point.
+        """
+        self.lock.require_held()
+        changed = name not in self.server_names or (
+            domain and self._domains.get(name) != domain
+        )
+        if name not in self.server_names:
+            self.server_names.append(name)
+            self._server_load.setdefault(name, 0)
+        if domain:
+            self._domains[name] = domain
+        if changed:
+            self.placement_epoch += 1
+        return self.placement_epoch
+
+    def remove_server(self, name: str) -> int:
+        """Drop a server from placement; its replicas await rebalancing."""
+        self.lock.require_held()
+        if name in self.server_names:
+            if len(self.server_names) - 1 < self.replication:
+                raise ValueError(
+                    f"removing {name} leaves fewer servers than "
+                    f"replication {self.replication}"
+                )
+            self.server_names.remove(name)
+            self._server_load.pop(name, None)
+            self.placement_epoch += 1
+        return self.placement_epoch
+
     # -- chunk allocation ------------------------------------------------------
     def _pick_servers(self) -> list[str]:
-        """``replication`` distinct servers, rotating the starting point."""
-        self.lock.require_held()
-        count = len(self.server_names)
-        start = self._next_server % count
-        self._next_server += 1
-        return [self.server_names[(start + i) % count] for i in range(self.replication)]
+        """``replication`` distinct servers: least-loaded first, ties
+        broken toward unused failure domains, then by name.
 
-    def allocate_chunk(self, path: str, server: Optional[str] = None) -> ChunkInfo:
-        """Append a fresh chunk to the file, placed round-robin by default."""
+        With all servers equally loaded and unlabelled this reproduces
+        the classic rotation (n0, n1, n2, n0, ...) — and it is
+        deterministic, so replicated masters compute identical
+        placements when replaying the same command log.
+        """
+        self.lock.require_held()
+        chosen: list[str] = []
+        used_domains: set[str] = set()
+        for __ in range(self.replication):
+            best: Optional[str] = None
+            best_key: Optional[tuple[bool, int, str]] = None
+            for name in sorted(self.server_names):
+                if name in chosen:
+                    continue
+                key = (
+                    self.domain_of(name) in used_domains,
+                    self._server_load.get(name, 0),
+                    name,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = name, key
+            assert best is not None  # replication <= len(server_names)
+            chosen.append(best)
+            used_domains.add(self.domain_of(best))
+            self._server_load[best] = self._server_load.get(best, 0) + 1
+        return chosen
+
+    def _note_placement(self, servers: list[str], delta: int) -> None:
+        self.lock.require_held()
+        for name in servers:
+            if name in self._server_load:
+                self._server_load[name] = max(
+                    0, self._server_load[name] + delta
+                )
+
+    def allocate_chunk(
+        self,
+        path: str,
+        server: Optional[str] = None,
+        servers: Optional[list[str]] = None,
+    ) -> ChunkInfo:
+        """Append a fresh chunk to the file.
+
+        Placement defaults to the domain-aware greedy rule; an explicit
+        ``server`` (single replica) or ``servers`` list pins it — the
+        replicated path pins placement chosen by the leader at propose
+        time, so replaying followers never re-run the placement rule on
+        a membership that may since have changed.
+        """
         self.lock.require_held()
         entry = self.lookup(path)
-        servers = [server] if server is not None else self._pick_servers()
-        chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=servers, length=0)
+        if servers is None:
+            if server is not None:
+                servers = [server]
+                self._note_placement(servers, +1)
+            else:
+                servers = self._pick_servers()
+        else:
+            servers = list(servers)
+            self._note_placement(servers, +1)
+        chunk = ChunkInfo(
+            chunk_id=f"{self.chunk_prefix}{self._next_chunk:08d}",
+            servers=servers,
+            length=0,
+        )
         self._next_chunk += 1
         entry.chunks.append(chunk)
         return chunk
 
     def insert_chunk_after(self, path: str, index: int, server: str) -> ChunkInfo:
         """Splice a fresh chunk after position ``index`` (for big inserts)."""
+        return self.insert_chunk_after_replicas(path, index, [server])
+
+    def insert_chunk_after_replicas(
+        self, path: str, index: int, servers: list[str]
+    ) -> ChunkInfo:
         self.lock.require_held()
         entry = self.lookup(path)
-        chunk = ChunkInfo(chunk_id=f"c{self._next_chunk:08d}", servers=[server], length=0)
+        chunk = ChunkInfo(
+            chunk_id=f"{self.chunk_prefix}{self._next_chunk:08d}",
+            servers=list(servers),
+            length=0,
+        )
         self._next_chunk += 1
+        self._note_placement(chunk.servers, +1)
         entry.chunks.insert(index + 1, chunk)
         return chunk
 
@@ -143,8 +283,69 @@ class Master:
         entry = self.lookup(path)
         for index, chunk in enumerate(entry.chunks):
             if chunk.chunk_id == chunk_id:
+                self._note_placement(chunk.servers, -1)
                 return entry.chunks.pop(index)
         raise ClusterFileNotFound(f"{path}:{chunk_id}")
+
+    def find_chunk(self, path: str, chunk_id: str) -> ChunkInfo:
+        entry = self.lookup(path)
+        for chunk in entry.chunks:
+            if chunk.chunk_id == chunk_id:
+                return chunk
+        raise ClusterFileNotFound(f"{path}:{chunk_id}")
+
+    def extend_chunk(self, path: str, chunk_id: str, delta: int) -> int:
+        """Grow (or shrink, negative ``delta``) a chunk's logical length."""
+        self.lock.require_held()
+        chunk = self.find_chunk(path, chunk_id)
+        if chunk.length + delta < 0:
+            raise ValueError(
+                f"chunk {chunk_id} of {chunk.length} bytes cannot shrink by "
+                f"{-delta}"
+            )
+        chunk.length += delta
+        return chunk.length
+
+    def set_chunk_length(self, path: str, chunk_id: str, length: int) -> int:
+        self.lock.require_held()
+        if length < 0:
+            raise ValueError(f"chunk length {length} < 0")
+        chunk = self.find_chunk(path, chunk_id)
+        chunk.length = length
+        return chunk.length
+
+    def place_chunk(self, path: str, chunk_id: str, servers: list[str]) -> ChunkInfo:
+        """Replace a chunk's replica set (the rebalancer's commit step).
+
+        Metadata-only: the caller is responsible for having copied the
+        chunk bytes onto every new holder *before* committing the move.
+        """
+        self.lock.require_held()
+        if not servers:
+            raise ValueError(f"chunk {chunk_id} needs at least one replica")
+        chunk = self.find_chunk(path, chunk_id)
+        self._note_placement(chunk.servers, -1)
+        chunk.servers = list(servers)
+        self._note_placement(chunk.servers, +1)
+        return chunk
+
+    # -- leases ----------------------------------------------------------------
+    def grant_lease(self, path: str, holder: str, until: float) -> dict:
+        """Record a client lease; ``until`` is supplied by the proposer
+        (SimClock seconds) so replaying replicas never read a clock."""
+        self.lock.require_held()
+        self.lookup(path)
+        self._leases[path] = (holder, until)
+        return {"path": path, "holder": holder, "until": until}
+
+    def lease_holder(self, path: str, now: float) -> Optional[str]:
+        held = self._leases.get(path)
+        if held is None or held[1] <= now:
+            return None
+        return held[0]
+
+    def leases(self) -> dict[str, tuple[str, float]]:
+        return {path: self._leases[path] for path in sorted(self._leases)}
 
     # -- addressing ------------------------------------------------------------------
     def locate(self, path: str, offset: int) -> tuple[int, ChunkInfo, int]:
@@ -194,7 +395,63 @@ class Master:
         return found
 
     def total_logical_bytes(self) -> int:
-        return sum(entry.size for entry in self._files.values())
+        return sum(self._files[path].size for path in sorted(self._files))
 
     def chunk_count(self) -> int:
-        return sum(len(entry.chunks) for entry in self._files.values())
+        return sum(len(self._files[path].chunks) for path in sorted(self._files))
+
+    # -- rebalancing -----------------------------------------------------------
+    def placement_moves(self) -> list[tuple[str, str, str, str]]:
+        """Plan replica moves toward balance and domain spread.
+
+        Returns ``(path, chunk_id, src, dst)`` tuples, deterministically
+        ordered.  A move is planned when a replica sits on a departed
+        server (mandatory) or on a server loaded above the ceiling
+        average while a strictly less-loaded target exists; targets
+        prefer failure domains the chunk does not already touch.  The
+        plan is advisory — the rebalancer copies bytes first and then
+        commits each move via :meth:`place_chunk` (through the
+        replicated command path, so every master replica sees it).
+        """
+        live = {name: 0 for name in self.server_names}
+        for path in sorted(self._files):
+            for chunk in self._files[path].chunks:
+                for holder in chunk.servers:
+                    if holder in live:
+                        live[holder] += 1
+        if not live:
+            return []
+        total = sum(live.values())
+        ceiling = -(-total // len(live))  # ceil average replicas/server
+        moves: list[tuple[str, str, str, str]] = []
+        for path in sorted(self._files):
+            for chunk in self._files[path].chunks:
+                placed = list(chunk.servers)
+                for src in list(placed):
+                    departed = src not in live
+                    if not departed and live[src] <= ceiling:
+                        continue
+                    other_domains = {
+                        self.domain_of(holder)
+                        for holder in placed
+                        if holder != src
+                    }
+                    candidates = sorted(
+                        (name for name in live if name not in placed),
+                        key=lambda name: (
+                            self.domain_of(name) in other_domains,
+                            live[name],
+                            name,
+                        ),
+                    )
+                    if not candidates:
+                        continue
+                    dst = candidates[0]
+                    if not departed and live[dst] + 1 >= live[src]:
+                        continue  # not a strict improvement
+                    moves.append((path, chunk.chunk_id, src, dst))
+                    placed[placed.index(src)] = dst
+                    if not departed:
+                        live[src] -= 1
+                    live[dst] += 1
+        return moves

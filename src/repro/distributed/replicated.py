@@ -1,0 +1,395 @@
+"""The replicated master: a Raft group behind the ``Master`` API.
+
+:class:`MasterGroup` assembles N replicas — each a persistent
+:class:`~repro.raft.log.RaftLog` on its own RAM-disk block device, a
+plain :class:`~repro.distributed.master.Master` as local state, and a
+:class:`~repro.raft.node.RaftNode` — on one synchronous transport and
+one SimClock.  :class:`ReplicatedMaster` is the facade the rest of the
+cluster talks to: it quacks like a ``Master``, but every mutator is
+proposed to the Raft leader as a state-machine command, and every read
+is served from the leader's local state under its lease (no quorum
+round trip on the read path).
+
+Locking: the whole group shares ONE rank-0 master lock.  Composite
+operations in :class:`~repro.distributed.client.ClusterClient` hold it
+across their multi-RPC mutations exactly as with a plain master, and
+because the same lock object is wired into every replica's ``Master``,
+the ``require_held()`` contracts hold on whichever replica happens to
+apply a command.  Group-administrative entry points (tick, elect,
+restart) acquire the lock themselves when the caller does not already
+own it — they can apply committed entries, which mutates master state.
+
+Failover from the caller's perspective: a deposed or crashed leader
+surfaces as :class:`~repro.raft.node.NotLeaderError`; the facade
+retries with backoff (charging the SimClock) while ticking the group,
+which runs the election and replays the committed log onto the new
+leader — zero committed metadata is lost (tests/test_raft.py's crash
+matrix drives every window of the propose path).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.analysis.sanitizer import TrackedLock, tracked_lock
+from repro.distributed.master import ChunkInfo, FileEntry, Master
+from repro.obs import Observability
+from repro.raft.log import RaftLog
+from repro.raft.node import (
+    LEADER,
+    NotLeaderError,
+    RaftConfig,
+    RaftNode,
+    RaftTransport,
+)
+from repro.raft.statemachine import MetadataStateMachine, encode_command
+from repro.storage.block_device import MemoryBlockDevice
+from repro.storage.simclock import RAM_DISK, SimClock
+
+
+class MasterGroup:
+    """3+ master replicas under Raft, plus the crash/restart controls."""
+
+    def __init__(
+        self,
+        server_names: list[str],
+        masters: int = 3,
+        chunk_capacity: int = 64 * 1024,
+        replication: int = 1,
+        clock: Optional[SimClock] = None,
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+        config: RaftConfig = RaftConfig(),
+        chunk_prefix: str = "c",
+        domains: Optional[dict[str, str]] = None,
+        lock: Optional[TrackedLock] = None,
+    ) -> None:
+        if masters < 1:
+            raise ValueError("a master group needs at least one replica")
+        self.clock = clock if clock is not None else SimClock()
+        self.obs = obs if obs is not None else Observability(clock=self.clock)
+        self.config = config
+        self.seed = seed
+        #: The one lock shared by the facade and every replica Master.
+        self.lock = lock if lock is not None else tracked_lock(
+            "master.lock", rank=0
+        )
+        self._ctor_args = dict(
+            server_names=list(server_names),
+            chunk_capacity=chunk_capacity,
+            replication=replication,
+            chunk_prefix=chunk_prefix,
+            domains=dict(domains or {}),
+        )
+        self.transport = RaftTransport(
+            self.clock, envelope_bytes=config.envelope_bytes
+        )
+        self.nodes: dict[str, RaftNode] = {}
+        self.devices: dict[str, MemoryBlockDevice] = {}
+        self._restarts: dict[str, int] = {}
+        self._c_redirects = self.obs.registry.counter("raft.group.redirects")
+        with self.lock:
+            # All devices first: a node's peer list is derived from the
+            # device map, which must be complete before any node boots.
+            for index in range(masters):
+                name = f"m{index}"
+                self.devices[name] = MemoryBlockDevice(
+                    block_size=4096, profile=RAM_DISK, clock=self.clock
+                )
+                self._restarts[name] = 0
+            for name in sorted(self.devices):
+                self._boot_node(name)
+
+    def _boot_node(self, name: str) -> RaftNode:
+        """(Re)create a replica from its persistent device.
+
+        The Raft log recovers from disk; the local ``Master`` starts
+        from the constructor arguments and is rebuilt by re-applying
+        the committed log (the leader's next contact replays it), so
+        membership changes made through commands are never lost."""
+        self.lock.require_held()
+        log = RaftLog(self.devices[name])
+        master = Master(lock=self.lock, **self._ctor_args)
+        node = RaftNode(
+            name=name,
+            peer_names=[f"m{i}" for i in range(len(self.devices))],
+            log=log,
+            statemachine=MetadataStateMachine(master),
+            clock=self.clock,
+            transport=self.transport,
+            config=self.config,
+            seed=self.seed + 1000 * self._restarts[name],
+            obs=self.obs,
+        )
+        self.nodes[name] = node
+        return node
+
+    # -- locking ------------------------------------------------------------
+    @contextmanager
+    def _holding_lock(self) -> Iterator[None]:
+        """Hold the group lock — re-entrant over an owning caller."""
+        if self.lock.held_by_current_context():
+            yield
+        else:
+            with self.lock:
+                yield
+
+    # -- leadership ---------------------------------------------------------
+    def leader(self) -> Optional[RaftNode]:
+        """The live leased leader, if any (deterministic scan order)."""
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            if not node.crashed and node.role == LEADER and node.has_lease():
+                return node
+        return None
+
+    def tick(self) -> None:
+        """Drive every live node one step at the current instant."""
+        with self._holding_lock():
+            self._tick_locked()
+
+    def _tick_locked(self) -> None:
+        for name in sorted(self.nodes):
+            self.nodes[name].tick()
+
+    def elect(self, deadline_s: float = 10.0) -> str:
+        """Advance simulated time until a leased leader exists.
+
+        Returns the leader's name; each step charges the SimClock, so
+        ``clock.now`` deltas around this call measure failover time.
+        """
+        with self._holding_lock():
+            return self._elect_locked(deadline_s)
+
+    def _elect_locked(self, deadline_s: float) -> str:
+        deadline = self.clock.now + deadline_s
+        step = self.config.heartbeat_interval / 2
+        while self.clock.now < deadline:
+            leader = self.leader()
+            if leader is not None:
+                return leader.name
+            self._tick_locked()
+            self.clock.charge(step)
+        raise TimeoutError(
+            f"no leader within {deadline_s}s of simulated time "
+            "(is a majority of the group alive?)"
+        )
+
+    # -- the replicated write path -------------------------------------------
+    def propose(self, op: str, **args: Any) -> Any:
+        """Propose one metadata command; retries across failovers.
+
+        Leader discovery: use the current leased leader, electing one
+        first when none exists.  A ``NotLeaderError`` from a deposed
+        replica redirects (counted in ``raft.group.redirects``) after
+        backing off by the hinted delay.  A leader crash *mid-propose*
+        (:class:`~repro.raft.node.NodeCrashed`) propagates to the
+        caller: the command may or may not have committed, and blind
+        re-proposal of a non-idempotent command (extend) would
+        double-apply — the caller must re-examine metadata after the
+        failover, as the crash-matrix tests do.
+        """
+        command = encode_command(op, **args)
+        with self._holding_lock():
+            last_error: Exception = NotLeaderError("no leader")
+            for __ in range(4 + len(self.nodes)):
+                leader = self.leader()
+                if leader is None:
+                    try:
+                        self._elect_locked(10.0)
+                    except TimeoutError as exc:
+                        raise NotLeaderError(
+                            "no electable majority", retry_after_ms=1e3
+                        ) from exc
+                    continue
+                try:
+                    return leader.propose(command)
+                except NotLeaderError as exc:
+                    last_error = exc
+                    self._c_redirects.inc()
+                    if exc.retry_after_ms:
+                        self.clock.charge(exc.retry_after_ms / 1e3)
+                    self._tick_locked()
+                    continue
+            raise last_error
+
+    # -- reads ---------------------------------------------------------------
+    def leader_master(self) -> Master:
+        """The leased leader's local state, electing one if needed."""
+        leader = self.leader()
+        if leader is not None:
+            return leader.sm.master
+        with self._holding_lock():
+            name = self._elect_locked(10.0)
+        return self.nodes[name].sm.master
+
+    # -- failure injection ----------------------------------------------------
+    def crash(self, name: str) -> None:
+        self.nodes[name].crash()
+
+    def crash_leader(self) -> str:
+        leader = self.leader()
+        if leader is None:
+            raise ValueError("no leader to crash")
+        leader.crash()
+        return leader.name
+
+    def restart(self, name: str) -> RaftNode:
+        """Cold restart: recover the log from the device, rebuild the
+        state machine by rejoining the group as a follower."""
+        with self._holding_lock():
+            self._restarts[name] += 1
+            return self._boot_node(name)
+
+    # -- introspection --------------------------------------------------------
+    def live_names(self) -> list[str]:
+        return [
+            name for name in sorted(self.nodes) if not self.nodes[name].crashed
+        ]
+
+    def state_digests(self) -> dict[str, str]:
+        from repro.raft.statemachine import state_digest
+
+        return {
+            name: state_digest(self.nodes[name].sm.master)
+            for name in sorted(self.nodes)
+            if not self.nodes[name].crashed
+        }
+
+
+class ReplicatedMaster:
+    """``Master``-compatible facade over a :class:`MasterGroup`.
+
+    Reads delegate to the leased leader's local state; mutators become
+    replicated commands.  Mutators return the leader's live metadata
+    objects (``ChunkInfo`` / ``FileEntry``), so callers that poke at
+    the returned objects keep working — but true replication-safe
+    length updates must go through :meth:`extend_chunk` /
+    :meth:`set_chunk_length`, which the cluster client does.
+    """
+
+    def __init__(self, group: MasterGroup) -> None:
+        self.group = group
+        self.lock = group.lock
+
+    # -- delegated attributes -------------------------------------------------
+    @property
+    def chunk_capacity(self) -> int:
+        return self.group.leader_master().chunk_capacity
+
+    @property
+    def replication(self) -> int:
+        return self.group.leader_master().replication
+
+    @property
+    def server_names(self) -> list[str]:
+        return self.group.leader_master().server_names
+
+    @property
+    def placement_epoch(self) -> int:
+        return self.group.leader_master().placement_epoch
+
+    # -- reads (leader-local under lease) -------------------------------------
+    def lookup(self, path: str) -> FileEntry:
+        return self.group.leader_master().lookup(path)
+
+    def exists(self, path: str) -> bool:
+        return self.group.leader_master().exists(path)
+
+    def list_files(self) -> list[str]:
+        return self.group.leader_master().list_files()
+
+    def file_size(self, path: str) -> int:
+        return self.group.leader_master().file_size(path)
+
+    def locate(self, path: str, offset: int):
+        return self.group.leader_master().locate(path, offset)
+
+    def chunks_in_range(self, path: str, offset: int, length: int):
+        return self.group.leader_master().chunks_in_range(path, offset, length)
+
+    def chunks_on(self, server_name: str) -> list[ChunkInfo]:
+        return self.group.leader_master().chunks_on(server_name)
+
+    def find_chunk(self, path: str, chunk_id: str) -> ChunkInfo:
+        return self.group.leader_master().find_chunk(path, chunk_id)
+
+    def total_logical_bytes(self) -> int:
+        return self.group.leader_master().total_logical_bytes()
+
+    def chunk_count(self) -> int:
+        return self.group.leader_master().chunk_count()
+
+    def domain_of(self, name: str) -> str:
+        return self.group.leader_master().domain_of(name)
+
+    def server_domains(self) -> dict[str, str]:
+        return self.group.leader_master().server_domains()
+
+    def placement_moves(self) -> list[tuple[str, str, str, str]]:
+        return self.group.leader_master().placement_moves()
+
+    def lease_holder(self, path: str, now: float) -> Optional[str]:
+        return self.group.leader_master().lease_holder(path, now)
+
+    def leases(self) -> dict[str, tuple[str, float]]:
+        return self.group.leader_master().leases()
+
+    # -- replicated mutators ---------------------------------------------------
+    def create(self, path: str) -> FileEntry:
+        return self.group.propose("create", path=path)
+
+    def unlink(self, path: str) -> FileEntry:
+        return self.group.propose("unlink", path=path)
+
+    def allocate_chunk(
+        self,
+        path: str,
+        server: Optional[str] = None,
+        servers: Optional[list[str]] = None,
+    ) -> ChunkInfo:
+        if server is not None and servers is None:
+            servers = [server]
+        return self.group.propose("alloc", path=path, servers=servers)
+
+    def insert_chunk_after(self, path: str, index: int, server: str) -> ChunkInfo:
+        return self.group.propose(
+            "splice", path=path, index=index, servers=[server]
+        )
+
+    def insert_chunk_after_replicas(
+        self, path: str, index: int, servers: list[str]
+    ) -> ChunkInfo:
+        return self.group.propose(
+            "splice", path=path, index=index, servers=list(servers)
+        )
+
+    def drop_chunk(self, path: str, chunk_id: str) -> ChunkInfo:
+        return self.group.propose("drop", path=path, chunk_id=chunk_id)
+
+    def extend_chunk(self, path: str, chunk_id: str, delta: int) -> int:
+        return self.group.propose(
+            "extend", path=path, chunk_id=chunk_id, delta=delta
+        )
+
+    def set_chunk_length(self, path: str, chunk_id: str, length: int) -> int:
+        return self.group.propose(
+            "set_length", path=path, chunk_id=chunk_id, length=length
+        )
+
+    def place_chunk(self, path: str, chunk_id: str, servers: list[str]) -> ChunkInfo:
+        return self.group.propose(
+            "place", path=path, chunk_id=chunk_id, servers=list(servers)
+        )
+
+    def register_server(self, name: str, domain: str = "") -> int:
+        return self.group.propose("register_server", name=name, domain=domain)
+
+    def remove_server(self, name: str) -> int:
+        return self.group.propose("remove_server", name=name)
+
+    def grant_lease(self, path: str, holder: str, until: float) -> dict:
+        return self.group.propose(
+            "lease", path=path, holder=holder, until=until
+        )

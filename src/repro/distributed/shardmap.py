@@ -1,0 +1,315 @@
+"""Consistent-hash sharding of file metadata across master groups.
+
+One Raft group replicates the metadata for availability; *sharding*
+splits the namespace across several groups so metadata capacity and
+command throughput scale with masters.  The shard map is a classic
+consistent-hash ring: every group contributes ``vnodes`` points (SHA-256
+of ``"group:replica"``), a path is owned by the first point clockwise
+of its hash, and adding or removing a group only remaps the ring arcs
+adjacent to its points.
+
+Clients cache the ring (:class:`ClientShardCache`) and route locally —
+zero metadata RPCs on the happy path.  The cache is invalidated by
+**epoch**: every membership change bumps ``ShardMap.epoch``, and an
+operation arriving with a stale epoch is rejected with
+:class:`StaleShardMap` (a :class:`~repro.fs.errors.TryAgain`, so it
+crosses the serving wire as EAGAIN).  The client refreshes its view
+and retries — the same backoff discipline as a NotLeader redirect, one
+layer up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Any, Callable, Optional
+
+from repro.analysis.sanitizer import TrackedLock, tracked_lock
+from repro.fs.errors import TryAgain
+from repro.obs import Observability
+
+
+class StaleShardMap(TryAgain):
+    """The caller routed with an out-of-date shard map epoch."""
+
+    def __init__(
+        self, message: str = "", current_epoch: int = 0, retry_after_ms: float = 0.0
+    ) -> None:
+        super().__init__(message, retry_after_ms=retry_after_ms)
+        self.current_epoch = current_epoch
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+def _build_ring(groups: list[str], vnodes: int) -> list[tuple[int, str]]:
+    ring = sorted(
+        (_point(f"{group}:{replica}"), group)
+        for group in groups
+        for replica in range(vnodes)
+    )
+    if not ring:
+        raise ValueError("a shard map needs at least one group")
+    return ring
+
+
+def _ring_lookup(ring: list[tuple[int, str]], path: str) -> str:
+    index = bisect_left(ring, (_point(path), ""))
+    if index == len(ring):
+        index = 0  # wrap: first point clockwise of the top of the ring
+    return ring[index][1]
+
+
+class ShardMapView:
+    """An immutable client-side copy of the ring at one epoch."""
+
+    __slots__ = ("epoch", "_ring")
+
+    def __init__(self, epoch: int, ring: list[tuple[int, str]]) -> None:
+        self.epoch = epoch
+        self._ring = ring
+
+    def group_for(self, path: str) -> str:
+        return _ring_lookup(self._ring, path)
+
+    def groups(self) -> list[str]:
+        return sorted({group for __, group in self._ring})
+
+
+class ShardMap:
+    """The authoritative ring plus its invalidation epoch."""
+
+    def __init__(self, groups: list[str], vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._groups = sorted(groups)
+        self._ring = _build_ring(self._groups, vnodes)
+        self.epoch = 1
+        #: Unranked: guards only the ring/epoch pair, nests anywhere.
+        self._map_lock = tracked_lock("shardmap.ring.lock")
+
+    def group_for(self, path: str) -> str:
+        return _ring_lookup(self._ring, path)
+
+    def groups(self) -> list[str]:
+        return list(self._groups)
+
+    def snapshot(self) -> ShardMapView:
+        return ShardMapView(self.epoch, list(self._ring))
+
+    def check_epoch(self, epoch: int) -> None:
+        """Reject a request routed with a stale cached map."""
+        if epoch != self.epoch:
+            raise StaleShardMap(
+                f"shard map epoch {epoch} is stale (current {self.epoch})",
+                current_epoch=self.epoch,
+            )
+
+    def add_group(self, name: str) -> int:
+        with self._map_lock:
+            if name not in self._groups:
+                self._groups = sorted(self._groups + [name])
+                self._ring = _build_ring(self._groups, self.vnodes)
+                self.epoch += 1
+            return self.epoch
+
+    def remove_group(self, name: str) -> int:
+        with self._map_lock:
+            if name in self._groups:
+                remaining = [g for g in self._groups if g != name]
+                self._ring = _build_ring(remaining, self.vnodes)
+                self._groups = remaining
+                self.epoch += 1
+            return self.epoch
+
+
+class ClientShardCache:
+    """A client's cached routing view, refreshed on epoch rejection."""
+
+    def __init__(
+        self, shardmap: ShardMap, obs: Optional[Observability] = None
+    ) -> None:
+        self._shardmap = shardmap
+        self.view = shardmap.snapshot()
+        obs = obs if obs is not None else Observability()
+        self._c_refresh = obs.registry.counter("shardmap.client.refreshes")
+        self._c_stale = obs.registry.counter("shardmap.client.stale_routes")
+        #: Unranked cache guard (the view swap must be scoped).
+        self._view_lock = tracked_lock("shardmap.cache.lock")
+
+    @property
+    def epoch(self) -> int:
+        return self.view.epoch
+
+    def group_for(self, path: str) -> str:
+        return self.view.group_for(path)
+
+    def refresh(self) -> ShardMapView:
+        with self._view_lock:
+            self.view = self._shardmap.snapshot()
+            self._c_refresh.inc()
+            return self.view
+
+    def call(self, path: str, fn: Callable[[str, int], Any]) -> Any:
+        """Run ``fn(group_name, epoch)`` with stale-epoch retry.
+
+        ``fn`` models the RPC: the server side validates the epoch via
+        :meth:`ShardMap.check_epoch` and raises :class:`StaleShardMap`
+        when the client's view is outdated; one refresh is always
+        enough because the refreshed view carries the rejecting epoch.
+        """
+        try:
+            return fn(self.view.group_for(path), self.view.epoch)
+        except StaleShardMap:
+            self._c_stale.inc()
+            self.refresh()
+            return fn(self.view.group_for(path), self.view.epoch)
+
+
+class ShardedMaster:
+    """``Master``-compatible facade over per-shard master facades.
+
+    Path-scoped operations route through the ring to one shard;
+    membership operations fan out to every shard (all groups must share
+    one view of the chunk servers); namespace-wide reads merge
+    deterministically.  All shards share ONE rank-0 master lock, so the
+    cluster client's composite-operation locking protocol is unchanged.
+    """
+
+    def __init__(
+        self,
+        shards: dict[str, Any],
+        lock: TrackedLock,
+        vnodes: int = 64,
+    ) -> None:
+        if not shards:
+            raise ValueError("a sharded master needs at least one shard")
+        self.shards = dict(shards)
+        self.map = ShardMap(sorted(shards), vnodes=vnodes)
+        self.lock = lock
+
+    def shard_for(self, path: str, epoch: Optional[int] = None) -> Any:
+        """The owning shard; validates a client's cached ``epoch``."""
+        if epoch is not None:
+            self.map.check_epoch(epoch)
+        return self.shards[self.map.group_for(path)]
+
+    def _first(self) -> Any:
+        return self.shards[sorted(self.shards)[0]]
+
+    def _all(self) -> list[Any]:
+        return [self.shards[name] for name in sorted(self.shards)]
+
+    # -- delegated attributes ----------------------------------------------
+    @property
+    def chunk_capacity(self) -> int:
+        return self._first().chunk_capacity
+
+    @property
+    def replication(self) -> int:
+        return self._first().replication
+
+    @property
+    def server_names(self) -> list[str]:
+        return self._first().server_names
+
+    @property
+    def placement_epoch(self) -> int:
+        return max(shard.placement_epoch for shard in self._all())
+
+    # -- path-routed operations --------------------------------------------
+    def create(self, path: str):
+        return self.shard_for(path).create(path)
+
+    def unlink(self, path: str):
+        return self.shard_for(path).unlink(path)
+
+    def exists(self, path: str) -> bool:
+        return self.shard_for(path).exists(path)
+
+    def lookup(self, path: str):
+        return self.shard_for(path).lookup(path)
+
+    def file_size(self, path: str) -> int:
+        return self.shard_for(path).file_size(path)
+
+    def locate(self, path: str, offset: int):
+        return self.shard_for(path).locate(path, offset)
+
+    def chunks_in_range(self, path: str, offset: int, length: int):
+        return self.shard_for(path).chunks_in_range(path, offset, length)
+
+    def allocate_chunk(self, path: str, server=None, servers=None):
+        return self.shard_for(path).allocate_chunk(
+            path, server=server, servers=servers
+        )
+
+    def insert_chunk_after(self, path: str, index: int, server: str):
+        return self.shard_for(path).insert_chunk_after(path, index, server)
+
+    def insert_chunk_after_replicas(self, path: str, index: int, servers: list[str]):
+        return self.shard_for(path).insert_chunk_after_replicas(
+            path, index, servers
+        )
+
+    def drop_chunk(self, path: str, chunk_id: str):
+        return self.shard_for(path).drop_chunk(path, chunk_id)
+
+    def find_chunk(self, path: str, chunk_id: str):
+        return self.shard_for(path).find_chunk(path, chunk_id)
+
+    def extend_chunk(self, path: str, chunk_id: str, delta: int) -> int:
+        return self.shard_for(path).extend_chunk(path, chunk_id, delta)
+
+    def set_chunk_length(self, path: str, chunk_id: str, length: int) -> int:
+        return self.shard_for(path).set_chunk_length(path, chunk_id, length)
+
+    def place_chunk(self, path: str, chunk_id: str, servers: list[str]):
+        return self.shard_for(path).place_chunk(path, chunk_id, servers)
+
+    def grant_lease(self, path: str, holder: str, until: float) -> dict:
+        return self.shard_for(path).grant_lease(path, holder, until)
+
+    def lease_holder(self, path: str, now: float) -> Optional[str]:
+        return self.shard_for(path).lease_holder(path, now)
+
+    # -- fan-out / merged operations ---------------------------------------
+    def register_server(self, name: str, domain: str = "") -> int:
+        return max(
+            shard.register_server(name, domain) for shard in self._all()
+        )
+
+    def remove_server(self, name: str) -> int:
+        return max(shard.remove_server(name) for shard in self._all())
+
+    def list_files(self) -> list[str]:
+        merged: list[str] = []
+        for shard in self._all():
+            merged.extend(shard.list_files())
+        return sorted(merged)
+
+    def chunks_on(self, server_name: str) -> list:
+        found = []
+        for shard in self._all():
+            found.extend(shard.chunks_on(server_name))
+        return found
+
+    def placement_moves(self) -> list[tuple[str, str, str, str]]:
+        moves: list[tuple[str, str, str, str]] = []
+        for shard in self._all():
+            moves.extend(shard.placement_moves())
+        return moves
+
+    def domain_of(self, name: str) -> str:
+        return self._first().domain_of(name)
+
+    def server_domains(self) -> dict[str, str]:
+        return self._first().server_domains()
+
+    def total_logical_bytes(self) -> int:
+        return sum(shard.total_logical_bytes() for shard in self._all())
+
+    def chunk_count(self) -> int:
+        return sum(shard.chunk_count() for shard in self._all())

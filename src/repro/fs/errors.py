@@ -151,4 +151,10 @@ def wire_error_payload(exc: BaseException) -> dict:
     retry_after = getattr(exc, "retry_after_ms", None)
     if retry_after is not None:
         payload["retry_after_ms"] = float(retry_after)
+    # A NotLeader redirect (replicated metadata plane) names the replica
+    # to retry against; the subclass crosses the wire as its TryAgain
+    # base code plus this hint.
+    leader_hint = getattr(exc, "leader_hint", None)
+    if leader_hint is not None:
+        payload["leader_hint"] = str(leader_hint)
     return payload

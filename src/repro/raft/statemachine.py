@@ -1,0 +1,158 @@
+"""Deterministic metadata state machine replicated by the Raft log.
+
+Every mutation of cluster metadata — namespace entries, chunk maps,
+placements, server membership, leases — is a **command**: an opcode
+plus arguments, canonically encoded (sorted keys, fixed separators) so
+the same command produces identical bytes on every node.  Commands are
+appended to the Raft log and applied, in log order, to a plain
+:class:`~repro.distributed.master.Master` on each replica.  Raft's
+guarantee (identical committed logs) plus determinism here (identical
+apply results) is what makes the replicas interchangeable after a
+leader crash.
+
+Determinism rules for this module (enforced by reprolint DET001):
+
+* no wall-clock reads — any time-dependent argument (lease deadlines)
+  is computed by the *proposer* and carried inside the command;
+* no module-level ``random`` — nondeterministic choices (placement)
+  are likewise resolved at propose time, never during apply;
+* no dict-iteration-order dependence — anything iterated is sorted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+from repro.distributed.master import ChunkInfo, FileEntry, Master
+
+
+class CommandError(Exception):
+    """A malformed or unknown replicated command."""
+
+
+def encode_command(op: str, **args: Any) -> bytes:
+    """Canonical command bytes: identical on every proposer."""
+    return json.dumps(
+        {"op": op, "args": args}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_command(raw: bytes) -> tuple[str, dict]:
+    try:
+        record = json.loads(raw.decode("utf-8"))
+        return record["op"], record["args"]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise CommandError(f"undecodable command: {raw[:64]!r}") from exc
+
+
+class MetadataStateMachine:
+    """Applies decoded commands to one replica's :class:`Master` state.
+
+    ``apply`` must be called with committed entries only, in log
+    order, exactly once per index — the Raft node guarantees all
+    three.  Results are the live metadata objects of *this* replica
+    (the leader's results flow back to the proposing client).
+    """
+
+    def __init__(self, master: Master) -> None:
+        self.master = master
+        #: Highest log index applied — the replica's apply cursor.
+        self.applied_index = 0
+
+    def apply(self, index: int, command: bytes) -> Any:
+        if index != self.applied_index + 1:
+            raise CommandError(
+                f"apply out of order: index {index} after {self.applied_index}"
+            )
+        op, args = decode_command(command)
+        handler = getattr(self, f"_apply_{op}", None)
+        if handler is None:
+            raise CommandError(f"unknown command op {op!r}")
+        result = handler(**args)
+        self.applied_index = index
+        return result
+
+    # -- handlers (alphabetical; each mirrors one Master mutator) ----------
+    def _apply_alloc(
+        self, path: str, servers: Optional[list[str]] = None
+    ) -> ChunkInfo:
+        """``servers=None`` runs the Master's deterministic placement
+        rule — identical load state on every replica (it is itself
+        command-built) means identical placement, no coordination."""
+        return self.master.allocate_chunk(path, servers=servers)
+
+    def _apply_create(self, path: str) -> FileEntry:
+        return self.master.create(path)
+
+    def _apply_drop(self, path: str, chunk_id: str) -> ChunkInfo:
+        return self.master.drop_chunk(path, chunk_id)
+
+    def _apply_extend(self, path: str, chunk_id: str, delta: int) -> int:
+        return self.master.extend_chunk(path, chunk_id, delta)
+
+    def _apply_lease(self, path: str, holder: str, until: float) -> dict:
+        """Record a client lease; ``until`` is proposer-computed
+        (SimClock seconds), never read from a clock here."""
+        return self.master.grant_lease(path, holder, until)
+
+    def _apply_noop(self) -> None:
+        """Leader barrier entry: commits the preceding term's tail."""
+        return None
+
+    def _apply_place(self, path: str, chunk_id: str, servers: list[str]) -> ChunkInfo:
+        return self.master.place_chunk(path, chunk_id, servers)
+
+    def _apply_register_server(self, name: str, domain: str) -> int:
+        return self.master.register_server(name, domain)
+
+    def _apply_remove_server(self, name: str) -> int:
+        return self.master.remove_server(name)
+
+    def _apply_set_length(self, path: str, chunk_id: str, length: int) -> int:
+        return self.master.set_chunk_length(path, chunk_id, length)
+
+    def _apply_splice(
+        self, path: str, index: int, servers: list[str]
+    ) -> ChunkInfo:
+        return self.master.insert_chunk_after_replicas(path, index, servers)
+
+    def _apply_unlink(self, path: str) -> FileEntry:
+        return self.master.unlink(path)
+
+
+def snapshot_state(master: Master) -> dict:
+    """Deterministic serialisation of a replica's metadata (divergence
+    checks in tests; a future install-snapshot RPC would ship this)."""
+    files = {}
+    for path in master.list_files():
+        entry = master.lookup(path)
+        files[path] = [
+            {"id": c.chunk_id, "servers": list(c.servers), "length": c.length}
+            for c in entry.chunks
+        ]
+    return {
+        "files": files,
+        "servers": master.server_domains(),
+        "placement_epoch": master.placement_epoch,
+        "leases": master.leases(),
+    }
+
+
+def state_digest(master: Master) -> str:
+    """Stable digest for replica-convergence assertions."""
+    payload = json.dumps(
+        snapshot_state(master), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+__all__ = [
+    "CommandError",
+    "MetadataStateMachine",
+    "decode_command",
+    "encode_command",
+    "snapshot_state",
+    "state_digest",
+]

@@ -54,9 +54,15 @@ def raise_wire_error(body: dict) -> None:
     message = body.get("message", "")
     klass = _EXCEPTIONS.get(str(name), fserrors.FSError)
     if klass is fserrors.TryAgain:
-        raise fserrors.TryAgain(
+        exc = fserrors.TryAgain(
             str(message), retry_after_ms=float(body.get("retry_after_ms", 0.0))
         )
+        # A replicated-master NotLeader redirect ships the replica to
+        # retry against; surface it without importing the raft type.
+        hint = body.get("leader_hint")
+        if hint is not None:
+            exc.leader_hint = str(hint)  # type: ignore[attr-defined]
+        raise exc
     raise klass(str(message))
 
 
@@ -72,25 +78,43 @@ class LoopbackTransport:
 
 
 class WireClient:
-    """One tenant's protocol-v1 connection."""
+    """One tenant's protocol-v1 connection.
 
-    def __init__(self, transport) -> None:
+    ``retries > 0`` opts in to transparent retry of ``TryAgain``
+    responses — admission backpressure and replicated-master NotLeader
+    redirects both surface as EAGAIN — backing off by the server's
+    ``retry_after_ms`` hint (charged to ``clock`` when one is given, so
+    simulated deployments account for the wait).  The last attempt's
+    error propagates.
+    """
+
+    def __init__(self, transport, retries: int = 0, clock=None) -> None:
         self._transport = transport
         self._request_ids = itertools.count(1)
+        self.retries = retries
+        self.clock = clock
 
     def call(self, opcode_name: str, **payload) -> dict:
         """One request/response round trip; raises on error responses."""
         opcode = OPCODES[opcode_name]
-        request_id = next(self._request_ids)
         # Optional fields are omitted, not sent as None: the server
         # treats absence as the default.
         body = {key: value for key, value in payload.items() if value is not None}
-        raw = self._transport.request(encode_frame(opcode, request_id, body))
-        frame, _end = decode_frame(raw)
-        self._check(frame, request_id)
-        if frame.is_error:
-            raise_wire_error(frame.payload)
-        return frame.payload
+        for attempt in range(self.retries + 1):
+            request_id = next(self._request_ids)
+            raw = self._transport.request(encode_frame(opcode, request_id, body))
+            frame, _end = decode_frame(raw)
+            self._check(frame, request_id)
+            if not frame.is_error:
+                return frame.payload
+            try:
+                raise_wire_error(frame.payload)
+            except fserrors.TryAgain as exc:
+                if attempt >= self.retries:
+                    raise
+                if self.clock is not None and exc.retry_after_ms:
+                    self.clock.charge(exc.retry_after_ms / 1e3)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _check(frame: Frame, request_id: int) -> None:

@@ -57,6 +57,15 @@ _CRC = struct.Struct("<I")
 DESC_MAGIC = 0x435345444424A31  # "1JBDESC" + version nibble
 COMMIT_MAGIC = 0x544D4D4344424A31  # "1JBDCMMT"
 
+#: Public aliases of the batch wire structs.  The Raft log
+#: (:mod:`repro.raft.log`) reuses the journal's LSN/CRC batch format as
+#: its on-disk substrate — descriptor groups, per-block CRC tags, and a
+#: checksummed commit record — so torn-tail recovery semantics are
+#: identical on both logs.
+BATCH_DESC = _DESC
+BATCH_TAG = _TAG
+BATCH_CRC = _CRC
+
 
 class JournalError(Exception):
     """Invalid journal geometry or a batch that cannot fit the region."""

@@ -1,0 +1,207 @@
+"""Tests for the consistent-hash shard map and the sharded/replicated
+cluster assembly: ring stability, epoch invalidation, failure-domain
+spread, restart re-registration, and diff-based rebalancing."""
+
+import pytest
+
+from repro.distributed import (
+    ShardMap,
+    ShardedMaster,
+    StaleShardMap,
+    build_replicated_cluster,
+)
+from repro.distributed.shardmap import ClientShardCache
+
+
+class TestShardMapRing:
+    def test_lookup_is_deterministic(self):
+        one = ShardMap(["g0", "g1", "g2"])
+        two = ShardMap(["g2", "g0", "g1"])
+        paths = [f"/dir/file{i}.dat" for i in range(50)]
+        assert [one.group_for(p) for p in paths] == [two.group_for(p) for p in paths]
+
+    def test_all_groups_own_some_arc(self):
+        smap = ShardMap(["g0", "g1", "g2"])
+        owners = {smap.group_for(f"/f{i}") for i in range(200)}
+        assert owners == {"g0", "g1", "g2"}
+
+    def test_adding_a_group_remaps_a_minority(self):
+        smap = ShardMap(["g0", "g1", "g2"])
+        paths = [f"/f{i}" for i in range(300)]
+        before = {p: smap.group_for(p) for p in paths}
+        smap.add_group("g3")
+        moved = sum(1 for p in paths if smap.group_for(p) != before[p])
+        # Consistent hashing: only the arcs adjacent to the new group's
+        # points move — about 1/4 of keys, never a wholesale reshuffle.
+        assert 0 < moved < len(paths) // 2
+        # Every moved key landed on the new group.
+        for p in paths:
+            if smap.group_for(p) != before[p]:
+                assert smap.group_for(p) == "g3"
+
+    def test_removing_a_group_only_reroutes_its_keys(self):
+        smap = ShardMap(["g0", "g1", "g2"])
+        paths = [f"/f{i}" for i in range(300)]
+        before = {p: smap.group_for(p) for p in paths}
+        smap.remove_group("g1")
+        for p in paths:
+            after = smap.group_for(p)
+            assert after != "g1"
+            if before[p] != "g1":
+                assert after == before[p]
+
+    def test_membership_changes_bump_epoch(self):
+        smap = ShardMap(["g0"])
+        assert smap.epoch == 1
+        assert smap.add_group("g1") == 2
+        assert smap.add_group("g1") == 2  # idempotent: no bump
+        assert smap.remove_group("g1") == 3
+        assert smap.remove_group("g1") == 3
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+        smap = ShardMap(["g0"])
+        with pytest.raises(ValueError):
+            smap.remove_group("g0")
+
+
+class TestClientShardCache:
+    def test_stale_epoch_refresh_and_retry(self):
+        smap = ShardMap(["g0", "g1"])
+        cache = ClientShardCache(smap)
+        assert cache.epoch == smap.epoch
+        smap.add_group("g2")
+        assert cache.epoch != smap.epoch  # cached view is now stale
+
+        seen = []
+
+        def rpc(group, epoch):
+            smap.check_epoch(epoch)  # server-side validation
+            seen.append((group, epoch))
+            return group
+
+        result = cache.call("/some/file", rpc)
+        # Exactly one rejected attempt, then the refreshed route.
+        assert len(seen) == 1
+        assert seen[0][1] == smap.epoch
+        assert result == smap.group_for("/some/file")
+        assert cache.epoch == smap.epoch
+
+    def test_check_epoch_carries_current(self):
+        smap = ShardMap(["g0"])
+        with pytest.raises(StaleShardMap) as excinfo:
+            smap.check_epoch(0)
+        assert excinfo.value.current_epoch == smap.epoch
+
+
+class TestShardedCluster:
+    def test_end_to_end_reads_and_writes(self):
+        cluster = build_replicated_cluster(nodes=3, masters=3, shards=2)
+        assert isinstance(cluster.master, ShardedMaster)
+        assert len(cluster.groups) == 2
+        payloads = {
+            f"/data/file{i}.txt": (f"payload {i} " * 40).encode() for i in range(10)
+        }
+        for path, data in payloads.items():
+            cluster.client.write_file(path, data)
+        for path, data in payloads.items():
+            assert cluster.client.read_file(path) == data
+        assert cluster.master.list_files() == sorted(payloads)
+
+    def test_namespace_partitions_across_shards(self):
+        cluster = build_replicated_cluster(nodes=3, masters=1, shards=2)
+        for i in range(10):
+            cluster.client.write_file(f"/data/file{i}.txt", b"x" * 64)
+        per_shard = [
+            set(shard.list_files()) for shard in cluster.master._all()
+        ]
+        assert not (per_shard[0] & per_shard[1])
+        assert len(per_shard[0] | per_shard[1]) == 10
+        assert per_shard[0] and per_shard[1]
+
+    def test_chunk_ids_are_shard_prefixed(self):
+        cluster = build_replicated_cluster(nodes=2, masters=1, shards=2)
+        cluster.client.write_file("/a", b"x" * 10)
+        entry = cluster.master.lookup("/a")
+        assert entry.chunks[0].chunk_id.startswith(("s0c", "s1c"))
+
+
+class TestFailureDomains:
+    def test_replicas_spread_across_racks(self):
+        cluster = build_replicated_cluster(
+            nodes=6, masters=3, racks=3, replication=2
+        )
+        cluster.client.write_file("/spread", b"y" * (8 * 1024))
+        domains = cluster.master.server_domains()
+        assert set(domains.values()) == {"rack0", "rack1", "rack2"}
+        entry = cluster.master.lookup("/spread")
+        assert entry.chunks
+        for chunk in entry.chunks:
+            racks = {domains[name] for name in chunk.servers}
+            assert len(racks) == 2, f"chunk {chunk.chunk_id} not spread: {racks}"
+
+    def test_restart_reregisters_domain_and_epoch(self):
+        cluster = build_replicated_cluster(nodes=3, masters=3, racks=3, durable=True)
+        server = cluster.servers["node1"]
+        assert server.domain == "rack1"
+        epoch_before = server.placement_epoch
+        assert epoch_before == cluster.master.placement_epoch
+        # Membership churn bumps the master's placement epoch while the
+        # server is oblivious...
+        cluster.master.remove_server("node2")
+        server.restart()
+        # ...restart re-registers: label intact, epoch replayed.
+        assert cluster.master.domain_of("node1") == "rack1"
+        assert server.placement_epoch > epoch_before
+        assert server.placement_epoch == cluster.master.placement_epoch
+
+
+class TestRebalance:
+    def _payload(self, i):
+        return (f"chunk payload {i} " * 200).encode()
+
+    def test_departed_server_chunks_move(self):
+        cluster = build_replicated_cluster(
+            nodes=3, masters=3, chunk_capacity=1024
+        )
+        cluster.client.write_file("/big", b"z" * (6 * 1024))
+        cluster.master.remove_server("node2")
+        moves, shipped, full = cluster.client.rebalance()
+        assert moves > 0
+        assert shipped == full  # no delta source: every move is a full copy
+        for chunk in cluster.master.lookup("/big").chunks:
+            assert "node2" not in chunk.servers
+        assert cluster.client.read_file("/big") == b"z" * (6 * 1024)
+
+    def test_delta_rebalance_ships_fewer_bytes_than_full_copy(self):
+        cluster = build_replicated_cluster(
+            nodes=3, masters=3, replication=2, chunk_capacity=1024
+        )
+        client = cluster.client
+        data = b"".join(self._payload(i) for i in range(4))
+        client.write_file("/big", data)
+        client.snapshot("base")
+        # node1 goes down; the master evicts it and the cluster heals
+        # with full copies (node1's stale replicas stay on its disk).
+        cluster.servers["node1"].fail()
+        cluster.master.remove_server("node1")
+        client.rebalance()
+        # A small post-snapshot edit, then node1 rejoins empty-handed.
+        client.replace("/big", 100, b"@@")
+        cluster.servers["node1"].recover()
+        cluster.master.register_server("node1", "")
+        moves, shipped, full = client.rebalance(base_snap="base")
+        assert moves > 0
+        # Moves onto node1's stale replicas ship post-snapshot deltas,
+        # not whole chunks.
+        assert shipped < full
+        assert client.read_file("/big") == data[:100] + b"@@" + data[102:]
+
+    def test_rebalance_converges(self):
+        cluster = build_replicated_cluster(nodes=3, masters=1, chunk_capacity=1024)
+        cluster.client.write_file("/f", b"w" * (6 * 1024))
+        cluster.master.remove_server("node0")
+        cluster.client.rebalance()
+        moves, __, __ = cluster.client.rebalance()
+        assert moves == 0
